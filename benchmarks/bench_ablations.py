@@ -1,0 +1,56 @@
+"""Ablation benchmarks (DESIGN.md A1–A3)."""
+
+import pytest
+
+from repro.experiments import (
+    run_ablation_scheduler,
+    run_ablation_spp,
+    run_ablation_strategy,
+)
+from repro.graph import build_inception_graph
+from repro.ios import dp_schedule
+
+from conftest import emit
+
+
+@pytest.mark.table
+def test_ablation_scheduler(benchmark):
+    """A1: IOS DP vs greedy / single-stage / sequential."""
+    result = benchmark.pedantic(run_ablation_scheduler, rounds=1, iterations=1)
+    emit(result)
+    for row in result.rows:
+        assert float(row[4]) <= min(float(row[1]), float(row[2]), float(row[3])) + 1e-6
+
+
+@pytest.mark.table
+@pytest.mark.parametrize("branches", [3, 4, 6])
+def test_ablation_dp_search_cost(benchmark, branches):
+    """DP search time scales with branch count (schedule-quality cost).
+
+    depth=1 keeps the state space polynomial-ish; depth-2 six-branch
+    blocks already take minutes (the exponential the IOS paper prunes).
+    """
+    graph = build_inception_graph(branches=branches, depth=1,
+                                  name=f"inc{branches}")
+    schedule = benchmark.pedantic(lambda: dp_schedule(graph, 1),
+                                  rounds=1, iterations=1)
+    assert schedule.latency_us > 0
+
+
+@pytest.mark.table
+def test_ablation_spp(benchmark):
+    """A2: SPP pyramid vs single pooling level."""
+    result = benchmark.pedantic(run_ablation_spp, rounds=1, iterations=1)
+    emit(result)
+    assert len(result.rows) == 4
+
+
+@pytest.mark.table
+def test_ablation_strategy(benchmark):
+    """A3: exploration strategies, trials-to-threshold on the surrogate."""
+    result = benchmark.pedantic(
+        lambda: run_ablation_strategy(max_trials=40, seeds=(0, 1, 2)),
+        rounds=1, iterations=1,
+    )
+    emit(result)
+    assert len(result.rows) == 4

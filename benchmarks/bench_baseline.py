@@ -1,0 +1,26 @@
+"""Related-work baseline comparison benchmark (§8.1)."""
+
+import pytest
+
+from repro.experiments import BaselineSettings, run_baseline_comparison
+
+from conftest import emit
+
+
+@pytest.mark.table
+def test_baseline_comparison_fast(benchmark):
+    """Train SPP-Net and FasterRCNNLite on identical chips (CI budget)."""
+    result = benchmark.pedantic(
+        lambda: run_baseline_comparison(BaselineSettings.fast()),
+        rounds=1, iterations=1,
+    )
+    emit(result)
+    assert len(result.rows) == 2
+    for row in result.rows:
+        # Fast budget (3 epochs, 1 scene) only guarantees well-formed
+        # metrics; quality comparisons need the full-budget CLI run.
+        ap = float(row[1].rstrip("%"))
+        accuracy = float(row[2].rstrip("%"))
+        assert 0.0 <= ap <= 100.0
+        assert 0.0 <= accuracy <= 100.0
+        assert int(row[4]) > 0  # parameter counts reported

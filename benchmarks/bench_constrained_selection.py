@@ -1,0 +1,28 @@
+"""§5.4 / Figure 5 — accuracy-constrained efficiency optimization."""
+
+import pytest
+
+from repro.arch import TABLE1_MODELS, TABLE1_PAPER_AP
+from repro.experiments import run_constrained_selection
+from repro.nas import resource_aware_selection
+
+from conftest import emit
+
+
+@pytest.mark.figure
+def test_constrained_selection_pipeline(benchmark):
+    """Time: benchmark-all-candidates + filter + select (Figure 5 flow)."""
+    candidates = [(cfg, TABLE1_PAPER_AP[name])
+                  for name, cfg in TABLE1_MODELS.items()]
+    winner, profiles = benchmark(
+        lambda: resource_aware_selection(candidates, accuracy_threshold=0.965)
+    )
+    assert winner.accuracy > 0.965
+    assert len(profiles) == 4
+
+
+@pytest.mark.figure
+def test_constrained_selection_regenerate(benchmark):
+    result = benchmark.pedantic(run_constrained_selection, rounds=1, iterations=1)
+    emit(result)
+    assert sum(1 for r in result.rows if r[-1]) == 1

@@ -1,0 +1,34 @@
+"""Figure 6 — inference efficiency vs batch size, sequential vs optimized."""
+
+import pytest
+
+from repro.experiments import run_fig6, select_optimal_batch
+from repro.gpusim import GraphExecutor
+from repro.ios import dp_schedule, sequential_schedule
+
+from conftest import emit
+
+BATCHES = (1, 2, 4, 8, 16, 32, 64)
+
+
+@pytest.mark.figure
+@pytest.mark.parametrize("batch", [1, 8, 32, 64])
+def test_fig6_single_inference(benchmark, sppnet2_graph, batch):
+    """Time: one simulated optimized-schedule inference at this batch."""
+    schedule = dp_schedule(sppnet2_graph, batch)
+    executor = GraphExecutor(sppnet2_graph)
+    executor.prepare()
+    result = benchmark(lambda: executor.run(schedule, batch))
+    assert result.latency_us > 0
+
+
+@pytest.mark.figure
+def test_fig6_regenerate(benchmark):
+    result = benchmark.pedantic(lambda: run_fig6(batch_sizes=BATCHES),
+                                rounds=1, iterations=1)
+    emit(result)
+    eff = {int(r[0]): float(r[2]) for r in result.rows}
+    # Efficiency improves with diminishing gains; paper picks batch 32.
+    assert eff[64] < eff[1]
+    chosen = select_optimal_batch(eff)
+    assert chosen in (16, 32, 64)

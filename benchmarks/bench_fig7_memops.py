@@ -1,0 +1,22 @@
+"""Figure 7 — GPU memops timing and memory headroom by batch size."""
+
+import pytest
+
+from repro.experiments import run_fig7
+
+from conftest import emit
+
+BATCHES = (1, 2, 4, 8, 16, 32, 64)
+
+
+@pytest.mark.figure
+def test_fig7_regenerate(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_fig7(batch_sizes=BATCHES, iterations=100),
+        rounds=1, iterations=1,
+    )
+    emit(result)
+    ns = [float(r[1]) for r in result.rows]
+    assert ns[0] > ns[-1]                    # per-image memops amortize
+    for row in result.rows:                  # memory never near 24 GB
+        assert float(row[3].rstrip("%")) < 5.0

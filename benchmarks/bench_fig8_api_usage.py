@@ -1,0 +1,20 @@
+"""Figure 8 — CUDA API usage shares by batch size (profiled session)."""
+
+import pytest
+
+from repro.experiments import run_fig8
+
+from conftest import emit
+
+
+@pytest.mark.figure
+def test_fig8_regenerate(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_fig8(batch_sizes=(1, 2, 4, 8, 16, 32, 64), iterations=600),
+        rounds=1, iterations=1,
+    )
+    emit(result)
+    first, last = result.rows[0], result.rows[-1]
+    assert float(first[1]) > 60.0                  # libload dominates @ 1
+    assert float(last[2]) > float(first[2])        # sync grows with batch
+    assert float(last[2]) > float(last[1])         # sync surpasses libload @ 64

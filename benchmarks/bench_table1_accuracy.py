@@ -1,0 +1,49 @@
+"""Table 1 — average precision of SPP-Net candidates.
+
+Full training of all four candidates takes tens of minutes; the benchmark
+version trains each model for a reduced budget on a reduced dataset and
+prints the regenerated table.  ``python -m repro.experiments table1`` runs
+the full configuration recorded in EXPERIMENTS.md.
+"""
+
+import pytest
+
+from repro.arch import TABLE1_MODELS
+from repro.detect import TrainConfig, train_detector
+from repro.experiments import Table1Settings, run_table1
+from repro.geo import build_dataset
+
+from conftest import emit
+
+
+@pytest.fixture(scope="module")
+def chips():
+    ds = build_dataset(num_scenes=1, chips_per_crossing=2, seed=3)
+    return ds.split(0.8, seed=3)
+
+
+@pytest.mark.table
+def test_table1_one_training_epoch(benchmark, chips):
+    """Time: one §6.1 training epoch of the original SPP-Net (batch 20)."""
+    train_set, _ = chips
+    config = TABLE1_MODELS["Original SPP-Net"]
+
+    def one_epoch():
+        return train_detector(config, train_set, None,
+                              TrainConfig(epochs=1, seed=1))
+
+    result = benchmark.pedantic(one_epoch, rounds=1, iterations=1)
+    assert result.history[0].mean_loss > 0
+
+
+@pytest.mark.table
+def test_table1_regenerate_fast(benchmark):
+    """Regenerate Table 1 at the CI-sized training budget and print it."""
+    result = benchmark.pedantic(
+        lambda: run_table1(Table1Settings.fast()), rounds=1, iterations=1
+    )
+    emit(result)
+    assert len(result.rows) == 4
+    for row in result.rows:
+        ap = float(row[2].rstrip("%"))
+        assert 0.0 <= ap <= 100.0

@@ -1,0 +1,30 @@
+"""Table 2 — sequential vs IOS-optimized inference latency (batch 1).
+
+Benchmarks the full IOS optimization (DP search + measurement) per
+candidate model and prints the regenerated Table 2.
+"""
+
+import pytest
+
+from repro.arch import TABLE1_MODELS
+from repro.experiments import run_table2
+from repro.ios import optimize_schedule
+
+from conftest import emit
+
+
+@pytest.mark.table
+@pytest.mark.parametrize("model", list(TABLE1_MODELS))
+def test_table2_optimize_model(benchmark, all_graphs, model):
+    """Time: IOS DP + sequential/optimized measurement for one model."""
+    graph = all_graphs[model]
+    result = benchmark(lambda: optimize_schedule(graph, batch=1))
+    assert result.optimized_latency_us < result.sequential_latency_us
+
+
+@pytest.mark.table
+def test_table2_regenerate(benchmark):
+    """Regenerate the whole of Table 2 and print it."""
+    result = benchmark.pedantic(run_table2, rounds=1, iterations=1)
+    emit(result)
+    assert len(result.rows) == 4

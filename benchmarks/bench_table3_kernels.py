@@ -1,0 +1,36 @@
+"""Table 3 — GPU kernel time shares (matmul / pooling / conv) by batch."""
+
+import pytest
+
+from repro.experiments import run_table3
+from repro.ios import dp_schedule
+from repro.profiling import profile_session
+
+from conftest import emit
+
+BATCHES = (1, 2, 4, 8, 16, 32, 64)
+
+
+@pytest.mark.table
+@pytest.mark.parametrize("batch", [1, 16, 64])
+def test_table3_profile_session(benchmark, sppnet2_graph, batch):
+    """Time: one profiled 30-iteration inference session."""
+    schedule = dp_schedule(sppnet2_graph, batch)
+    report = benchmark.pedantic(
+        lambda: profile_session(sppnet2_graph, schedule, batch,
+                                iterations=30, warmup=2),
+        rounds=1, iterations=1,
+    )
+    assert sum(s.share for s in report.kernels) == pytest.approx(1.0)
+
+
+@pytest.mark.table
+def test_table3_regenerate(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_table3(batch_sizes=BATCHES, iterations=60),
+        rounds=1, iterations=1,
+    )
+    emit(result)
+    rows = {r[0]: r for r in result.rows}
+    assert float(rows[64][3]) > float(rows[1][3])   # conv share rises
+    assert float(rows[1][1]) > float(rows[64][1])   # matmul share falls

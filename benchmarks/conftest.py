@@ -1,0 +1,33 @@
+"""Shared fixtures for the benchmark harness.
+
+Every ``bench_*`` module regenerates one artifact of the paper (table or
+figure) and times its core measurement with pytest-benchmark.  Reduced
+workloads keep ``pytest benchmarks/ --benchmark-only`` in CI territory;
+``python -m repro.experiments <id>`` runs the full-scale versions.
+"""
+
+import pytest
+
+from repro.arch import TABLE1_MODELS
+from repro.graph import build_sppnet_graph
+
+
+def pytest_configure(config):
+    config.addinivalue_line("markers", "table: regenerates a paper table")
+    config.addinivalue_line("markers", "figure: regenerates a paper figure")
+
+
+@pytest.fixture(scope="session")
+def sppnet2_graph():
+    return build_sppnet_graph(TABLE1_MODELS["SPP-Net #2"])
+
+
+@pytest.fixture(scope="session")
+def all_graphs():
+    return {name: build_sppnet_graph(cfg) for name, cfg in TABLE1_MODELS.items()}
+
+
+def emit(result) -> None:
+    """Print a regenerated table under the benchmark output."""
+    print()
+    print(result.to_text())

@@ -1,0 +1,81 @@
+"""Hydrologic connectivity with and without drainage crossings (Figure 1).
+
+The motivating claim of the paper: DEM-derived drainage networks break at
+road embankments ("digital dams"), and incorporating drainage-crossing
+locations repairs them.  This example demonstrates that end to end on a
+synthetic watershed:
+
+1. build a scene whose roads imprint embankments on the DEM;
+2. delineate streams on the embanked DEM — flow paths die at the roads;
+3. breach the DEM at the ground-truth crossing locations (as a deployed
+   detector would provide) and delineate again;
+4. compare connectivity metrics before/after.
+
+Usage::
+
+    python examples/connectivity_pipeline.py [--size 384] [--seed 5]
+"""
+
+import argparse
+
+from repro.geo import WatershedConfig, build_scene
+from repro.hydro import (
+    assess_connectivity,
+    breach_dem,
+    delineate_streams,
+    priority_flood_fill,
+)
+
+
+def analyze(dem, threshold: int):
+    conditioned = priority_flood_fill(dem, epsilon=1e-4)
+    network = delineate_streams(conditioned, threshold=threshold)
+    return assess_connectivity(dem, network)
+
+
+def show(label: str, report) -> None:
+    print(f"  {label}")
+    print(f"    stream cells        : {report.num_stream_cells}")
+    print(f"    segments            : {report.num_segments} "
+          f"(fragmentation {report.fragmentation:.2f} per 1000 cells)")
+    print(f"    largest segment     : {report.largest_segment_cells} cells")
+    print(f"    premature terminations: {report.num_terminations}")
+    print(f"    mean flow-path length : {report.mean_path_length:.1f} cells")
+    print(f"    depression cells      : {report.depression_cells}")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--size", type=int, default=384)
+    parser.add_argument("--seed", type=int, default=5)
+    args = parser.parse_args()
+
+    config = WatershedConfig(size=args.size, road_spacing=128,
+                             stream_threshold=1500, seed=args.seed)
+    print(f"Building synthetic watershed ({args.size}x{args.size} m, "
+          f"seed {args.seed}) ...")
+    scene = build_scene(config)
+    print(f"  {len(scene.crossings)} ground-truth drainage crossings, "
+          f"{int(scene.roads.sum())} road cells\n")
+
+    print("(A) Without crossing information — embanked DEM as-is:")
+    before = analyze(scene.dem, config.stream_threshold)
+    show("digital dams intact", before)
+
+    print("\n(B) With crossing locations — DEM breached at each crossing:")
+    breached = breach_dem(scene.dem, [c.center for c in scene.crossings], radius=4)
+    after = analyze(breached, config.stream_threshold)
+    show("crossings incorporated", after)
+
+    print("\nSummary:")
+    fewer = before.depression_cells - after.depression_cells
+    print(f"  breaching removed {fewer} digital-dam depression cells "
+          f"({before.depression_cells} -> {after.depression_cells})")
+    delta = after.mean_path_length - before.mean_path_length
+    print(f"  mean flow-path length changed by {delta:+.1f} cells")
+    print(f"  premature terminations: {before.num_terminations} -> "
+          f"{after.num_terminations}")
+
+
+if __name__ == "__main__":
+    main()

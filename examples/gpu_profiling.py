@@ -1,0 +1,59 @@
+"""Nsight-Systems-style GPU profiling of CNN inference (§7).
+
+Profiles a full benchmark session of SPP-Net #2 on the simulated RTX
+A5500 — the equivalent of the paper's::
+
+    nsys profile --stats=true python IOS_Model.py
+
+and prints the three summaries §7 reads off the profiler: CUDA API
+statistics (Figure 8), kernel statistics by operator category (Table 3),
+and memory-operation statistics (Figure 7).
+
+Usage::
+
+    python examples/gpu_profiling.py --batch 32
+    python examples/gpu_profiling.py --sweep
+"""
+
+import argparse
+
+from repro.arch import TABLE1_MODELS
+from repro.graph import build_sppnet_graph
+from repro.ios import dp_schedule
+from repro.profiling import format_report, profile_session
+
+
+def profile_one(graph, batch: int, iterations: int) -> None:
+    schedule = dp_schedule(graph, batch)
+    report = profile_session(graph, schedule, batch,
+                             iterations=iterations, warmup=10)
+    print(format_report(report))
+    print()
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--model", default="SPP-Net #2",
+                        choices=list(TABLE1_MODELS))
+    parser.add_argument("--batch", type=int, default=32)
+    parser.add_argument("--iterations", type=int, default=500)
+    parser.add_argument("--sweep", action="store_true",
+                        help="profile every batch size of §7 (1..64)")
+    args = parser.parse_args()
+
+    graph = build_sppnet_graph(TABLE1_MODELS[args.model])
+    batches = (1, 2, 4, 8, 16, 32, 64) if args.sweep else (args.batch,)
+    for batch in batches:
+        profile_one(graph, batch, args.iterations)
+
+    if args.sweep:
+        print("Observations (paper §7):")
+        print(" * cuLibraryLoadData dominates small-batch sessions; "
+              "cudaDeviceSynchronize overtakes it as batch grows (Fig. 8).")
+        print(" * Matmul kernel share falls with batch while Conv rises to "
+              "dominance at batch 64 (Table 3).")
+        print(" * GPU memory stays far below the 24 GB capacity (Fig. 7).")
+
+
+if __name__ == "__main__":
+    main()

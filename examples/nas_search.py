@@ -1,0 +1,98 @@
+"""Resource-aware neural architecture search (§4 + §5.4, Figure 5).
+
+Explores the paper's §4.2 search space with the multi-trial random-search
+experiment, then applies the accuracy-constrained efficiency optimization:
+maximize inference efficiency e(n) subject to accuracy a(n) > A, with
+efficiency measured by IOS on the simulated RTX A5500.
+
+By default each trial trains a real (small) detector on synthetic chips;
+``--surrogate`` switches to the deterministic accuracy surrogate for an
+instant demonstration of the search mechanics.
+
+Usage::
+
+    python examples/nas_search.py --trials 4
+    python examples/nas_search.py --surrogate --trials 30
+"""
+
+import argparse
+
+from repro.detect import TrainConfig, evaluate_detector, train_detector
+from repro.experiments import surrogate_accuracy
+from repro.geo import build_dataset
+from repro.nas import (
+    Experiment,
+    FunctionalEvaluator,
+    RandomStrategy,
+    TrainingEvaluator,
+    config_from_sample,
+    resource_aware_selection,
+    sppnet_search_space,
+)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--trials", type=int, default=3)
+    parser.add_argument("--epochs", type=int, default=3)
+    parser.add_argument("--threshold", type=float, default=None,
+                        help="accuracy constraint A (default: median of trials)")
+    parser.add_argument("--surrogate", action="store_true",
+                        help="use the deterministic surrogate instead of training")
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    space = sppnet_search_space()
+    print(f"Search space: {space.size} architectures "
+          f"({', '.join(c.name for c in space.choices)})\n")
+
+    if args.surrogate:
+        evaluator = FunctionalEvaluator(surrogate_accuracy)
+    else:
+        print("Building chip dataset for trial training ...")
+        dataset = build_dataset(num_scenes=1, chips_per_crossing=2, seed=3)
+        train_set, test_set = dataset.split(0.8, seed=3)
+        print(f"  {len(train_set)} train / {len(test_set)} test chips\n")
+
+        def train_trial(config):
+            result = train_detector(
+                config, train_set, test_set,
+                TrainConfig(epochs=args.epochs, seed=1, box_weight=3.0),
+            )
+            scores = evaluate_detector(result.model, test_set, iou_threshold=0.35)
+            print(f"  [trial] {config.name}: AP={100 * scores.ap:.2f}%")
+            return {"value": scores.ap, "accuracy": scores.accuracy}
+
+        evaluator = TrainingEvaluator(train_trial)
+
+    experiment = Experiment(
+        space=space,
+        evaluator=evaluator,
+        strategy=RandomStrategy(),
+        max_trials=args.trials,
+        seed=args.seed,
+    )
+    experiment.run()
+
+    print("\n== Tuning results (aggregated & compared, as with NNI) ==")
+    print(experiment.results_table())
+
+    values = sorted(t.value for t in experiment.trials)
+    threshold = args.threshold if args.threshold is not None else values[len(values) // 2]
+    print(f"\n== Accuracy-constrained efficiency optimization (A = {threshold:.4f}) ==")
+    candidates = [(config_from_sample(t.sample), t.value) for t in experiment.trials]
+    try:
+        winner, profiles = resource_aware_selection(candidates, threshold, batch=1)
+    except ValueError as exc:
+        print(f"  no feasible candidate: {exc}")
+        return
+    for p in sorted(profiles, key=lambda p: -p.efficiency):
+        tag = "  <== selected" if p.config.name == winner.config.name else ""
+        feasible = "ok " if p.accuracy > threshold else "cut"
+        print(f"  [{feasible}] {p.config.name:32s} a(n)={p.accuracy:.4f} "
+              f"IOS latency={p.optimized_latency_us / 1e3:.3f} ms "
+              f"e(n)={p.efficiency:7.0f} img/s{tag}")
+
+
+if __name__ == "__main__":
+    main()

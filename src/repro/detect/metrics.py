@@ -1,0 +1,133 @@
+"""Detection metrics: IoU, precision/recall, and average precision (Eq. 1).
+
+The paper scores models with average precision::
+
+    AP = sum_i (Recall_i - Recall_{i-1}) * Precision_i
+
+over detections ranked by confidence, with a detection counted correct
+when its box overlaps the ground truth at IoU >= a threshold (0.5 here,
+the standard the related-work baseline uses).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "iou_cxcywh",
+    "precision_recall",
+    "average_precision",
+    "DetectionScores",
+    "score_detections",
+]
+
+
+def iou_cxcywh(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Pairwise IoU of boxes in (cx, cy, w, h); broadcasts over leading dims."""
+    a = np.asarray(a, dtype=float)
+    b = np.asarray(b, dtype=float)
+    ax0, ay0 = a[..., 0] - a[..., 2] / 2, a[..., 1] - a[..., 3] / 2
+    ax1, ay1 = a[..., 0] + a[..., 2] / 2, a[..., 1] + a[..., 3] / 2
+    bx0, by0 = b[..., 0] - b[..., 2] / 2, b[..., 1] - b[..., 3] / 2
+    bx1, by1 = b[..., 0] + b[..., 2] / 2, b[..., 1] + b[..., 3] / 2
+    iw = np.clip(np.minimum(ax1, bx1) - np.maximum(ax0, bx0), 0.0, None)
+    ih = np.clip(np.minimum(ay1, by1) - np.maximum(ay0, by0), 0.0, None)
+    inter = iw * ih
+    union = (
+        np.clip(ax1 - ax0, 0, None) * np.clip(ay1 - ay0, 0, None)
+        + np.clip(bx1 - bx0, 0, None) * np.clip(by1 - by0, 0, None)
+        - inter
+    )
+    with np.errstate(invalid="ignore", divide="ignore"):
+        out = np.where(union > 0, inter / union, 0.0)
+    return out
+
+
+def precision_recall(
+    confidences: np.ndarray,
+    is_true_positive: np.ndarray,
+    num_ground_truth: int,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Precision/recall arrays over the confidence-ranked detection list."""
+    confidences = np.asarray(confidences, dtype=float)
+    is_true_positive = np.asarray(is_true_positive, dtype=bool)
+    if confidences.shape != is_true_positive.shape:
+        raise ValueError("confidences and tp flags must align")
+    if num_ground_truth < 0:
+        raise ValueError("num_ground_truth must be >= 0")
+    order = np.argsort(-confidences, kind="stable")
+    tp = is_true_positive[order].astype(float)
+    cum_tp = np.cumsum(tp)
+    precision = cum_tp / np.arange(1, len(tp) + 1)
+    recall = cum_tp / num_ground_truth if num_ground_truth else np.zeros_like(cum_tp)
+    return precision, recall
+
+
+def average_precision(precision: np.ndarray, recall: np.ndarray) -> float:
+    """Equation 1: AP = sum_i (R_i - R_{i-1}) * P_i."""
+    precision = np.asarray(precision, dtype=float)
+    recall = np.asarray(recall, dtype=float)
+    if precision.shape != recall.shape:
+        raise ValueError("precision and recall must align")
+    if len(recall) == 0:
+        return 0.0
+    prev = np.concatenate([[0.0], recall[:-1]])
+    return float(np.sum((recall - prev) * precision))
+
+
+@dataclass(frozen=True)
+class DetectionScores:
+    """Full evaluation of a detector on a chip dataset."""
+
+    ap: float
+    accuracy: float
+    mean_iou_tp: float
+    precision: np.ndarray
+    recall: np.ndarray
+    num_ground_truth: int
+
+    @property
+    def max_recall(self) -> float:
+        return float(self.recall[-1]) if len(self.recall) else 0.0
+
+
+def score_detections(
+    confidences: np.ndarray,
+    pred_boxes: np.ndarray,
+    labels: np.ndarray,
+    gt_boxes: np.ndarray,
+    iou_threshold: float = 0.5,
+    decision_threshold: float = 0.5,
+) -> DetectionScores:
+    """Score one-detection-per-chip outputs against chip ground truth.
+
+    A detection on chip *i* is a true positive when the chip holds a
+    crossing (label 1) and the predicted box overlaps it at
+    ``iou_threshold``.  Classification accuracy uses
+    ``decision_threshold`` on the confidence.
+    """
+    confidences = np.asarray(confidences, dtype=float)
+    labels = np.asarray(labels)
+    n = len(confidences)
+    if not (len(pred_boxes) == len(labels) == len(gt_boxes) == n):
+        raise ValueError("detection arrays must align")
+    positives = labels == 1
+    ious = iou_cxcywh(np.asarray(pred_boxes), np.asarray(gt_boxes))
+    tp_flags = positives & (ious >= iou_threshold)
+    precision, recall = precision_recall(confidences, tp_flags, int(positives.sum()))
+    ap = average_precision(precision, recall)
+    predicted_positive = confidences >= decision_threshold
+    accuracy = float((predicted_positive == positives).mean()) if n else 0.0
+    mean_iou = float(ious[tp_flags & predicted_positive].mean()) if (
+        (tp_flags & predicted_positive).any()
+    ) else 0.0
+    return DetectionScores(
+        ap=ap,
+        accuracy=accuracy,
+        mean_iou_tp=mean_iou,
+        precision=precision,
+        recall=recall,
+        num_ground_truth=int(positives.sum()),
+    )

@@ -1,0 +1,152 @@
+"""Full-scene crossing detection: sliding window + NMS.
+
+The chips of §3.2 are a training convenience; deployment means finding
+*all* crossings in a watershed image.  :func:`scan_scene` slides the
+trained detector over the scene (SPP would accept the whole scene in one
+pass, but windowing keeps localization within the box head's trained
+operating range), collects per-window detections, and merges them with
+non-maximum suppression.  :func:`evaluate_scene_detections` scores the
+result against ground-truth crossing locations by center distance — the
+operational metric a hydrologist cares about (is the breach applied at
+the right cell?).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..geo.crossings import Crossing
+from ..geo.scene import Scene
+from .predict import predict
+from .sppnet import SPPNetDetector
+
+__all__ = ["SceneDetection", "SceneDetectionScores", "non_max_suppression",
+           "scan_scene", "evaluate_scene_detections"]
+
+
+@dataclass(frozen=True)
+class SceneDetection:
+    """One detected crossing in scene coordinates."""
+
+    row: float
+    col: float
+    height: float
+    width: float
+    confidence: float
+
+    @property
+    def center(self) -> tuple[int, int]:
+        return (int(round(self.row)), int(round(self.col)))
+
+
+def non_max_suppression(detections: list[SceneDetection],
+                        radius: float = 20.0) -> list[SceneDetection]:
+    """Greedy NMS by center distance: keep the most confident detection,
+    drop any lower-confidence detection within ``radius`` cells of a kept
+    one."""
+    if radius <= 0:
+        raise ValueError("radius must be positive")
+    kept: list[SceneDetection] = []
+    for det in sorted(detections, key=lambda d: -d.confidence):
+        if all((det.row - k.row) ** 2 + (det.col - k.col) ** 2 > radius**2
+               for k in kept):
+            kept.append(det)
+    return kept
+
+
+def scan_scene(
+    model: SPPNetDetector,
+    scene: Scene,
+    window: int = 100,
+    stride: int = 50,
+    confidence_threshold: float = 0.7,
+    nms_radius: float = 20.0,
+    batch_size: int = 20,
+) -> list[SceneDetection]:
+    """Detect crossings across a whole scene.
+
+    Overlapping windows (default 50% overlap) guarantee every crossing is
+    near the center of at least one window; the per-window box regression
+    is mapped back to scene coordinates before NMS.  The confidence
+    threshold defaults to 0.7 like the related-work faster-R-CNN baseline.
+    """
+    n = scene.size
+    if window > n:
+        raise ValueError(f"window {window} exceeds scene size {n}")
+    origins = [
+        (r, c)
+        for r in list(range(0, n - window, stride)) + [n - window]
+        for c in list(range(0, n - window, stride)) + [n - window]
+    ]
+    tiles = np.stack([
+        scene.image[:, r:r + window, c:c + window] for r, c in origins
+    ]).astype(np.float32)
+
+    confidences, boxes = predict(model, tiles, batch_size=batch_size)
+    detections: list[SceneDetection] = []
+    for (r0, c0), conf, box in zip(origins, confidences, boxes):
+        if conf < confidence_threshold:
+            continue
+        cx, cy, w, h = box
+        detections.append(SceneDetection(
+            row=r0 + cy * window,
+            col=c0 + cx * window,
+            height=h * window,
+            width=w * window,
+            confidence=float(conf),
+        ))
+    return non_max_suppression(detections, radius=nms_radius)
+
+
+@dataclass(frozen=True)
+class SceneDetectionScores:
+    """Center-distance matching of detections vs ground truth."""
+
+    true_positives: int
+    false_positives: int
+    false_negatives: int
+    mean_center_error: float
+
+    @property
+    def precision(self) -> float:
+        denom = self.true_positives + self.false_positives
+        return self.true_positives / denom if denom else 0.0
+
+    @property
+    def recall(self) -> float:
+        denom = self.true_positives + self.false_negatives
+        return self.true_positives / denom if denom else 0.0
+
+    @property
+    def f1(self) -> float:
+        p, r = self.precision, self.recall
+        return 2 * p * r / (p + r) if (p + r) else 0.0
+
+
+def evaluate_scene_detections(
+    detections: list[SceneDetection],
+    ground_truth: list[Crossing],
+    match_radius: float = 15.0,
+) -> SceneDetectionScores:
+    """Greedy one-to-one matching by center distance (confident first)."""
+    unmatched = list(ground_truth)
+    tp = 0
+    errors: list[float] = []
+    for det in sorted(detections, key=lambda d: -d.confidence):
+        best_i, best_d = -1, match_radius
+        for i, gt in enumerate(unmatched):
+            d = np.hypot(det.row - gt.row, det.col - gt.col)
+            if d <= best_d:
+                best_i, best_d = i, d
+        if best_i >= 0:
+            tp += 1
+            errors.append(best_d)
+            unmatched.pop(best_i)
+    return SceneDetectionScores(
+        true_positives=tp,
+        false_positives=len(detections) - tp,
+        false_negatives=len(unmatched),
+        mean_center_error=float(np.mean(errors)) if errors else float("nan"),
+    )

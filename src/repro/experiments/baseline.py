@@ -1,0 +1,99 @@
+"""Related-work baseline comparison (§8.1).
+
+Trains the paper's SPP-Net next to the faster-R-CNN-style baseline on the
+same synthetic chips and compares detection quality — the reproduction of
+the paper's implicit claim that the SPP-Net approach outperforms the
+faster R-CNN applied to the same watershed by Li et al. (reported there:
+accuracy 0.882, mean box IoU 0.668).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..arch import TABLE1_MODELS
+from ..detect import (
+    RCNNConfig,
+    TrainConfig,
+    evaluate_detector,
+    evaluate_rcnn,
+    train_detector,
+    train_rcnn,
+)
+from ..geo import build_dataset
+from .results import ExperimentResult
+
+__all__ = ["BaselineSettings", "run_baseline_comparison"]
+
+
+@dataclass(frozen=True)
+class BaselineSettings:
+    """Training budget for the comparison (defaults are benchmark-sized)."""
+
+    num_scenes: int = 2
+    chips_per_crossing: int = 4
+    seed: int = 3
+    sppnet_epochs: int = 12
+    rcnn_epochs: int = 12
+    iou_threshold: float = 0.35
+
+    @classmethod
+    def fast(cls) -> "BaselineSettings":
+        return cls(num_scenes=1, chips_per_crossing=2,
+                   sppnet_epochs=3, rcnn_epochs=3)
+
+
+def run_baseline_comparison(settings: BaselineSettings | None = None,
+                            verbose: bool = False) -> ExperimentResult:
+    """Train SPP-Net and FasterRCNNLite on the same split and compare."""
+    settings = settings or BaselineSettings()
+    dataset = build_dataset(num_scenes=settings.num_scenes,
+                            chips_per_crossing=settings.chips_per_crossing,
+                            seed=settings.seed)
+    train_set, test_set = dataset.split(0.8, seed=settings.seed)
+
+    spp_arch = TABLE1_MODELS["SPP-Net #2"]
+    spp = train_detector(
+        spp_arch, train_set, test_set,
+        TrainConfig(epochs=settings.sppnet_epochs, seed=1, verbose=verbose,
+                    box_weight=3.0),
+    )
+    spp_scores = evaluate_detector(spp.model, test_set,
+                                   iou_threshold=settings.iou_threshold)
+
+    rcnn_model = train_rcnn(
+        train_set, RCNNConfig(), epochs=settings.rcnn_epochs,
+        learning_rate=0.01, seed=1, verbose=verbose,
+    )
+    rcnn_scores = evaluate_rcnn(rcnn_model, test_set,
+                                iou_threshold=settings.iou_threshold)
+
+    rows = [
+        [
+            "SPP-Net #2 (this paper)",
+            f"{100 * spp_scores.ap:.2f}%",
+            f"{100 * spp_scores.accuracy:.1f}%",
+            f"{spp_scores.mean_iou_tp:.3f}",
+            spp.model.num_parameters(),
+        ],
+        [
+            "FasterRCNNLite (related work)",
+            f"{100 * rcnn_scores.ap:.2f}%",
+            f"{100 * rcnn_scores.accuracy:.1f}%",
+            f"{rcnn_scores.mean_iou_tp:.3f}",
+            rcnn_model.num_parameters(),
+        ],
+    ]
+    return ExperimentResult(
+        experiment_id="baseline-comparison",
+        title=f"SPP-Net vs faster-R-CNN-style baseline "
+              f"(AP@IoU>={settings.iou_threshold}, same chips/split)",
+        headers=["Detector", "AP", "Accuracy", "Mean IoU (TP)", "Parameters"],
+        rows=rows,
+        paper_reference=[
+            ["SPP-Net (paper Table 1, best)", "97.40%", "-", "-", "-"],
+            ["faster R-CNN (Li et al., §8.1)", "-", "88.2%", "0.668", "-"],
+        ],
+        notes="The related work reports classification accuracy and box "
+              "IoU rather than AP; both detectors here see identical data.",
+    )

@@ -1,0 +1,94 @@
+"""Geometric and radiometric augmentation for chip datasets.
+
+Flips and 90-degree rotations with consistent bounding-box transforms
+(boxes are normalized (cx, cy, w, h) in chip coordinates), plus mild
+per-band radiometric jitter.  All transforms are exact involutions /
+rotations so property tests can verify box consistency.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .chips import ChipDataset
+
+__all__ = [
+    "flip_horizontal",
+    "flip_vertical",
+    "rotate90",
+    "radiometric_jitter",
+    "augment_dataset",
+]
+
+
+def flip_horizontal(image: np.ndarray, box: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Mirror left-right; cx -> 1 - cx."""
+    out_box = box.copy()
+    if out_box.any():
+        out_box[0] = 1.0 - out_box[0]
+    return image[:, :, ::-1].copy(), out_box
+
+
+def flip_vertical(image: np.ndarray, box: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Mirror top-bottom; cy -> 1 - cy."""
+    out_box = box.copy()
+    if out_box.any():
+        out_box[1] = 1.0 - out_box[1]
+    return image[:, ::-1, :].copy(), out_box
+
+
+def rotate90(image: np.ndarray, box: np.ndarray, k: int = 1
+             ) -> tuple[np.ndarray, np.ndarray]:
+    """Rotate ``k`` quarter-turns counter-clockwise with box transform."""
+    k = k % 4
+    out_image = np.rot90(image, k=k, axes=(1, 2)).copy()
+    out_box = box.copy()
+    if out_box.any():
+        cx, cy, w, h = out_box
+        for _ in range(k):
+            # CCW quarter turn in image coords: (cx, cy) -> (cy, 1 - cx).
+            cx, cy = cy, 1.0 - cx
+            w, h = h, w
+        out_box = np.array([cx, cy, w, h], dtype=box.dtype)
+    return out_image, out_box
+
+
+def radiometric_jitter(image: np.ndarray, rng: np.random.Generator,
+                       scale: float = 0.03) -> np.ndarray:
+    """Per-band gain/offset jitter, clipped to [0, 1]."""
+    gains = 1.0 + rng.uniform(-scale, scale, size=(image.shape[0], 1, 1))
+    offsets = rng.uniform(-scale, scale, size=(image.shape[0], 1, 1))
+    return np.clip(image * gains + offsets, 0.0, 1.0).astype(image.dtype)
+
+
+def augment_dataset(dataset: ChipDataset, seed: int = 0,
+                    include_rotations: bool = True) -> ChipDataset:
+    """Return the dataset extended with flipped/rotated/jittered copies.
+
+    Each original chip contributes one extra randomly-chosen transform, so
+    the output is exactly twice the input size with the same class balance.
+    """
+    rng = np.random.default_rng(seed)
+    images, labels, boxes = [dataset.images], [dataset.labels], [dataset.boxes]
+    new_images, new_boxes = [], []
+    choices = 4 if include_rotations else 2
+    for i in range(len(dataset)):
+        image, box = dataset.images[i], dataset.boxes[i]
+        pick = rng.integers(choices)
+        if pick == 0:
+            image, box = flip_horizontal(image, box)
+        elif pick == 1:
+            image, box = flip_vertical(image, box)
+        else:
+            image, box = rotate90(image, box, k=int(pick - 1))
+        new_images.append(radiometric_jitter(image, rng))
+        new_boxes.append(box)
+    images.append(np.stack(new_images))
+    labels.append(dataset.labels.copy())
+    boxes.append(np.stack(new_boxes))
+    return ChipDataset(
+        np.concatenate(images).astype(np.float32),
+        np.concatenate(labels),
+        np.concatenate(boxes).astype(np.float32),
+        dataset.chip_size,
+    )

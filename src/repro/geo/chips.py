@@ -1,0 +1,184 @@
+"""Chip dataset construction (§3.2 of the paper).
+
+The paper clips 100 x 100-pixel 4-band samples centred on each digitized
+crossing.  We do the same on synthetic scenes — with location jitter so
+the crossing is *not* always dead-centre (otherwise box regression would
+be trivial) — and add negatives sampled away from any crossing, half of
+them "hard" (on a road or stream, but not at a crossing).  The dataset
+carries (image, label, box) triples with boxes in normalized
+(cx, cy, w, h) chip coordinates, and splits 80/20 like the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .crossings import Crossing
+from .scene import Scene, build_scene
+from .synthesis import WatershedConfig
+
+__all__ = ["ChipDataset", "extract_chip", "build_dataset"]
+
+
+@dataclass
+class ChipDataset:
+    """Arrays-of-chips detection dataset."""
+
+    images: np.ndarray  # (N, 4, S, S) float32
+    labels: np.ndarray  # (N,) int64, 1 = crossing present
+    boxes: np.ndarray   # (N, 4) float32 normalized (cx, cy, w, h); zeros when negative
+    chip_size: int
+
+    def __post_init__(self) -> None:
+        n = len(self.images)
+        if not (len(self.labels) == len(self.boxes) == n):
+            raise ValueError("images/labels/boxes length mismatch")
+        if self.images.ndim != 4 or self.images.shape[2] != self.chip_size:
+            raise ValueError(f"bad image array shape {self.images.shape}")
+
+    def __len__(self) -> int:
+        return len(self.images)
+
+    @property
+    def num_positive(self) -> int:
+        return int((self.labels == 1).sum())
+
+    def subset(self, indices: np.ndarray) -> "ChipDataset":
+        return ChipDataset(
+            self.images[indices], self.labels[indices], self.boxes[indices], self.chip_size
+        )
+
+    def split(self, train_fraction: float = 0.8, seed: int = 0
+              ) -> tuple["ChipDataset", "ChipDataset"]:
+        """Shuffled train/test split (paper: 80/20)."""
+        if not 0.0 < train_fraction < 1.0:
+            raise ValueError("train_fraction must be in (0, 1)")
+        rng = np.random.default_rng(seed)
+        order = rng.permutation(len(self))
+        cut = int(round(train_fraction * len(self)))
+        return self.subset(order[:cut]), self.subset(order[cut:])
+
+    def batches(self, batch_size: int, seed: int | None = None):
+        """Yield (images, labels, boxes) minibatches; shuffles when seeded."""
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        order = np.arange(len(self))
+        if seed is not None:
+            np.random.default_rng(seed).shuffle(order)
+        for start in range(0, len(self), batch_size):
+            idx = order[start:start + batch_size]
+            yield self.images[idx], self.labels[idx], self.boxes[idx]
+
+    @staticmethod
+    def concatenate(parts: list["ChipDataset"]) -> "ChipDataset":
+        if not parts:
+            raise ValueError("no datasets to concatenate")
+        size = parts[0].chip_size
+        if any(p.chip_size != size for p in parts):
+            raise ValueError("chip sizes differ")
+        return ChipDataset(
+            np.concatenate([p.images for p in parts]),
+            np.concatenate([p.labels for p in parts]),
+            np.concatenate([p.boxes for p in parts]),
+            size,
+        )
+
+
+def _normalized_box(crossing: Crossing, r0: int, c0: int, size: int) -> np.ndarray:
+    cx = (crossing.col - c0) / size
+    cy = (crossing.row - r0) / size
+    w = crossing.width / size
+    h = crossing.height / size
+    return np.array([cx, cy, w, h], dtype=np.float32)
+
+
+def extract_chip(scene: Scene, center: tuple[int, int], size: int
+                 ) -> tuple[np.ndarray, Crossing | None, tuple[int, int]]:
+    """Clip one ``size`` x ``size`` chip around ``center``.
+
+    Returns (image, contained crossing or None, chip origin).  The chip is
+    shifted inward when it would overflow the scene.  If several crossings
+    fall inside, the one nearest the chip centre is the label (the others
+    make the task slightly noisy, like real digitized data).
+    """
+    n = scene.size
+    if size > n:
+        raise ValueError(f"chip size {size} exceeds scene size {n}")
+    r0 = int(np.clip(center[0] - size // 2, 0, n - size))
+    c0 = int(np.clip(center[1] - size // 2, 0, n - size))
+    image = scene.image[:, r0:r0 + size, c0:c0 + size]
+
+    inside = [
+        cr for cr in scene.crossings
+        if r0 + 2 <= cr.row < r0 + size - 2 and c0 + 2 <= cr.col < c0 + size - 2
+    ]
+    if not inside:
+        return image, None, (r0, c0)
+    mid = (r0 + size / 2, c0 + size / 2)
+    best = min(inside, key=lambda cr: (cr.row - mid[0]) ** 2 + (cr.col - mid[1]) ** 2)
+    return image, best, (r0, c0)
+
+
+def build_dataset(
+    num_scenes: int = 4,
+    chips_per_crossing: int = 6,
+    negative_ratio: float = 1.0,
+    chip_size: int = 100,
+    jitter: int = 14,
+    seed: int = 0,
+    scene_size: int = 512,
+) -> ChipDataset:
+    """Generate the full detection dataset from synthetic watersheds.
+
+    Positives: ``chips_per_crossing`` jittered chips per ground-truth
+    crossing.  Negatives: ``negative_ratio`` x as many, half sampled on
+    road/stream cells away from crossings (hard negatives), half uniform.
+    """
+    rng = np.random.default_rng(seed)
+    images: list[np.ndarray] = []
+    labels: list[int] = []
+    boxes: list[np.ndarray] = []
+
+    for s in range(num_scenes):
+        scene = build_scene(WatershedConfig(size=scene_size, seed=seed * 1000 + s))
+        n = scene.size
+        for crossing in scene.crossings:
+            for _ in range(chips_per_crossing):
+                dr, dc = rng.integers(-jitter, jitter + 1, size=2)
+                image, found, origin = extract_chip(
+                    scene, (crossing.row + int(dr), crossing.col + int(dc)), chip_size
+                )
+                if found is None:
+                    continue
+                images.append(image)
+                labels.append(1)
+                boxes.append(_normalized_box(found, origin[0], origin[1], chip_size))
+
+        wanted = int(round(negative_ratio * chips_per_crossing * len(scene.crossings)))
+        hard_pool = np.argwhere(scene.roads | scene.streams)
+        produced = 0
+        attempts = 0
+        while produced < wanted and attempts < 50 * wanted:
+            attempts += 1
+            if produced % 2 == 0 and len(hard_pool):
+                r, c = hard_pool[rng.integers(len(hard_pool))]
+            else:
+                r, c = rng.integers(0, n, size=2)
+            image, found, _ = extract_chip(scene, (int(r), int(c)), chip_size)
+            if found is not None:
+                continue
+            images.append(image)
+            labels.append(0)
+            boxes.append(np.zeros(4, dtype=np.float32))
+            produced += 1
+
+    if not images:
+        raise RuntimeError("dataset generation produced no chips; check scene config")
+    return ChipDataset(
+        np.stack(images).astype(np.float32),
+        np.asarray(labels, dtype=np.int64),
+        np.stack(boxes).astype(np.float32),
+        chip_size,
+    )

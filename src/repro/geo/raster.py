@@ -1,0 +1,139 @@
+"""Georeferencing and interchange for synthetic scenes.
+
+Real drainage-crossing workflows live in GIS: rasters carry an affine
+geotransform and detections ship as point features.  This module provides
+the minimal, dependency-free equivalents so downstream users can hand the
+reproduction's outputs to real tooling:
+
+* :class:`GeoTransform` — the 6-coefficient affine (GDAL convention)
+  mapping pixel (row, col) to world (x, y);
+* :class:`GeoRaster` — an array + transform + CRS label, with window
+  reads and npz round-trips;
+* :func:`crossings_to_geojson` — detections/ground truth as a GeoJSON
+  FeatureCollection.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+__all__ = ["GeoTransform", "GeoRaster", "crossings_to_geojson"]
+
+
+@dataclass(frozen=True)
+class GeoTransform:
+    """GDAL-style affine: x = x0 + col*dx, y = y0 + row*dy (dy < 0 north-up)."""
+
+    x0: float = 0.0
+    dx: float = 1.0
+    y0: float = 0.0
+    dy: float = -1.0
+
+    def __post_init__(self) -> None:
+        if self.dx == 0 or self.dy == 0:
+            raise ValueError("pixel sizes must be non-zero")
+
+    def pixel_to_world(self, row: float, col: float) -> tuple[float, float]:
+        return (self.x0 + col * self.dx, self.y0 + row * self.dy)
+
+    def world_to_pixel(self, x: float, y: float) -> tuple[float, float]:
+        return ((y - self.y0) / self.dy, (x - self.x0) / self.dx)
+
+
+@dataclass
+class GeoRaster:
+    """A 2-D or (bands, H, W) array with georeferencing."""
+
+    data: np.ndarray
+    transform: GeoTransform = GeoTransform()
+    crs: str = "EPSG:32614"  # UTM 14N — Nebraska study area
+
+    def __post_init__(self) -> None:
+        if self.data.ndim not in (2, 3):
+            raise ValueError(f"raster must be 2-D or 3-D, got {self.data.ndim}-D")
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def height(self) -> int:
+        return self.data.shape[-2]
+
+    @property
+    def width(self) -> int:
+        return self.data.shape[-1]
+
+    def bounds(self) -> tuple[float, float, float, float]:
+        """(min_x, min_y, max_x, max_y) of the raster extent."""
+        corners = [
+            self.transform.pixel_to_world(r, c)
+            for r in (0, self.height) for c in (0, self.width)
+        ]
+        xs = [p[0] for p in corners]
+        ys = [p[1] for p in corners]
+        return (min(xs), min(ys), max(xs), max(ys))
+
+    def window(self, row0: int, col0: int, height: int, width: int) -> "GeoRaster":
+        """Read a sub-raster; the transform is shifted accordingly."""
+        if row0 < 0 or col0 < 0 or row0 + height > self.height \
+                or col0 + width > self.width:
+            raise IndexError("window outside raster extent")
+        x0, y0 = self.transform.pixel_to_world(row0, col0)
+        sub = self.data[..., row0:row0 + height, col0:col0 + width]
+        return GeoRaster(sub, GeoTransform(x0, self.transform.dx,
+                                           y0, self.transform.dy), self.crs)
+
+    def save(self, path: str | Path) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        np.savez_compressed(
+            path, data=self.data,
+            transform=np.array([self.transform.x0, self.transform.dx,
+                                self.transform.y0, self.transform.dy]),
+            crs=np.frombuffer(self.crs.encode(), dtype=np.uint8),
+        )
+        return path
+
+    @classmethod
+    def load(cls, path: str | Path) -> "GeoRaster":
+        with np.load(Path(path)) as data:
+            x0, dx, y0, dy = data["transform"]
+            return cls(
+                data["data"],
+                GeoTransform(float(x0), float(dx), float(y0), float(dy)),
+                bytes(data["crs"].tobytes()).decode(),
+            )
+
+
+def crossings_to_geojson(
+    crossings,
+    transform: GeoTransform = GeoTransform(),
+    crs: str = "EPSG:32614",
+) -> str:
+    """Serialize crossings/detections to a GeoJSON FeatureCollection.
+
+    Accepts anything with ``row``/``col`` attributes; ``confidence`` is
+    included when present (detections), omitted for ground truth.
+    """
+    features = []
+    for i, crossing in enumerate(crossings):
+        x, y = transform.pixel_to_world(crossing.row, crossing.col)
+        properties: dict = {"id": i}
+        confidence = getattr(crossing, "confidence", None)
+        if confidence is not None:
+            properties["confidence"] = round(float(confidence), 4)
+        features.append({
+            "type": "Feature",
+            "geometry": {"type": "Point", "coordinates": [x, y]},
+            "properties": properties,
+        })
+    return json.dumps({
+        "type": "FeatureCollection",
+        "crs": {"type": "name", "properties": {"name": crs}},
+        "features": features,
+    }, indent=2)

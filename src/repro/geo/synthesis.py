@@ -1,0 +1,80 @@
+"""Procedural DEM synthesis for the study-area stand-in.
+
+The West Fork Big Blue watershed is a gently undulating loess plain
+descending west to east.  We reproduce that morphology with spectral
+synthesis: a Gaussian random field with a power-law (1/f^beta) spectrum —
+the standard fractal-terrain model — superimposed on a regional gradient,
+plus broad low-relief undulations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["WatershedConfig", "synthesize_dem"]
+
+
+@dataclass(frozen=True)
+class WatershedConfig:
+    """Parameters of one synthetic watershed scene.
+
+    size : raster edge length in cells (1 cell = 1 m, NAIP resolution).
+    relief_m : peak-to-peak amplitude of the fractal component.
+    gradient_m : total west-to-east elevation loss across the scene.
+    beta : spectral exponent (2.0 ≈ smooth loess plain).
+    road_spacing : cells between grid roads (dense rural section grid).
+    embankment_m : how much road embankments rise above grade.
+    stream_threshold : D8 support (cells) for stream delineation.
+    seed : RNG seed; every derived artifact is deterministic in it.
+    """
+
+    size: int = 512
+    relief_m: float = 6.0
+    gradient_m: float = 10.0
+    beta: float = 2.2
+    road_spacing: int = 170
+    road_width: int = 3
+    embankment_m: float = 1.6
+    stream_threshold: int = 4000
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.size < 32:
+            raise ValueError("scene size must be >= 32 cells")
+        if self.road_spacing < 16:
+            raise ValueError("road spacing must be >= 16 cells")
+
+
+def synthesize_dem(config: WatershedConfig) -> np.ndarray:
+    """Generate the bare-earth DEM (before road embankments).
+
+    Returns a ``(size, size)`` float array in meters.  Elevation descends
+    from the west (column 0) to the east edge, as in the study area.
+    """
+    n = config.size
+    rng = np.random.default_rng(config.seed)
+
+    # Power-law Gaussian random field via FFT filtering of white noise.
+    noise = rng.standard_normal((n, n))
+    spectrum = np.fft.fft2(noise)
+    fy = np.fft.fftfreq(n)[:, None]
+    fx = np.fft.fftfreq(n)[None, :]
+    radius = np.sqrt(fx**2 + fy**2)
+    radius[0, 0] = radius.flat[np.abs(radius).argmax()]  # avoid div-by-zero at DC
+    falloff = radius ** (-config.beta / 2.0)
+    falloff[0, 0] = 0.0
+    field = np.real(np.fft.ifft2(spectrum * falloff))
+    field -= field.min()
+    peak = field.max()
+    if peak > 0:
+        field *= config.relief_m / peak
+
+    # Regional west -> east descent plus one broad undulation band.
+    cols = np.linspace(1.0, 0.0, n)[None, :]
+    regional = config.gradient_m * cols
+    undulation = 0.3 * config.relief_m * np.sin(
+        np.linspace(0, 2.5 * np.pi, n)[:, None] + 0.8
+    )
+    return field + regional + undulation

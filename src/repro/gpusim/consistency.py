@@ -1,0 +1,74 @@
+"""Trace-consistency validation.
+
+An executor trace must embody the schedule that produced it — kernels on
+one stream serialized, stage barriers respected, every scheduled operator
+executed exactly once.  :func:`check_trace_consistency` verifies those
+invariants and is used both by the property tests and as a debugging aid
+for custom schedules.
+"""
+
+from __future__ import annotations
+
+from .runtime import Trace
+
+__all__ = ["TraceInconsistency", "check_trace_consistency"]
+
+
+class TraceInconsistency(AssertionError):
+    """A trace violated an execution invariant."""
+
+
+def check_trace_consistency(trace: Trace, stages: list[list[list[str]]],
+                            tolerance_us: float = 1e-6) -> None:
+    """Validate one inference's trace against its schedule.
+
+    Checks:
+    1. every scheduled op has exactly one kernel event, in stage order;
+    2. kernels sharing a stream never overlap;
+    3. no kernel of stage *i+1* starts before every kernel of stage *i*
+       finished (the inter-stage barrier);
+    4. within a stage, each group's kernels run in listed order.
+    """
+    expected = [name for stage in stages for group in stage for name in group]
+    executed = [event.op_name for event in trace.kernels]
+    if sorted(executed) != sorted(expected):
+        raise TraceInconsistency(
+            f"kernel set mismatch: expected {sorted(expected)}, got "
+            f"{sorted(executed)}"
+        )
+
+    by_op = {event.op_name: event for event in trace.kernels}
+
+    # (2) per-stream serialization
+    per_stream: dict[int, list] = {}
+    for event in trace.kernels:
+        per_stream.setdefault(event.stream, []).append(event)
+    for stream, events in per_stream.items():
+        events.sort(key=lambda e: e.start_us)
+        for a, b in zip(events, events[1:]):
+            if b.start_us < a.end_us - tolerance_us:
+                raise TraceInconsistency(
+                    f"stream {stream}: {b.op_name} starts at {b.start_us} "
+                    f"before {a.op_name} ends at {a.end_us}"
+                )
+
+    # (3) stage barriers
+    previous_end = 0.0
+    for si, stage in enumerate(stages):
+        ops = [name for group in stage for name in group]
+        starts = [by_op[name].start_us for name in ops]
+        ends = [by_op[name].end_us for name in ops]
+        if min(starts) < previous_end - tolerance_us:
+            raise TraceInconsistency(
+                f"stage {si} starts at {min(starts)} before stage {si - 1} "
+                f"drained at {previous_end}"
+            )
+        previous_end = max(ends)
+
+        # (4) in-group ordering
+        for group in stage:
+            for a, b in zip(group, group[1:]):
+                if by_op[b].start_us < by_op[a].end_us - tolerance_us:
+                    raise TraceInconsistency(
+                        f"group order violated: {b} before {a} finished"
+                    )

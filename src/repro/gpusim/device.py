@@ -1,0 +1,95 @@
+"""Device specification for the simulated GPU.
+
+Defaults model the paper's testbed — an NVIDIA RTX A5500 (GA102: 80 SMs x
+128 FP32 lanes = 10240 CUDA cores, 24 GB GDDR6 at 768 GB/s, PCIe 4.0 x16).
+All timing constants are exposed so the simulator can be re-pointed at a
+different part (see ``tests/gpusim`` for a scaled-down card).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["DeviceSpec", "RTX_A5500"]
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Static description of a GPU for the analytical cost model.
+
+    Efficiency factors are the sustained-vs-peak ratios of each kernel
+    category (an implicit-GEMM convolution does not hit the FP32 peak; an
+    elementwise kernel does not hit the DRAM pin bandwidth).
+    """
+
+    name: str = "NVIDIA RTX A5500"
+    sm_count: int = 80
+    cores_per_sm: int = 128
+    boost_clock_ghz: float = 1.665
+    dram_bandwidth_gbs: float = 768.0
+    dram_capacity_gb: float = 24.0
+    pcie_bandwidth_gbs: float = 25.0  # effective PCIe 4.0 x16 (31.5 raw)
+    threads_per_block: int = 256
+    concurrent_blocks_per_sm: int = 4
+    # Host/driver overheads (microseconds).
+    kernel_launch_us: float = 3.0
+    # IOS implements stage barriers with cudaDeviceSynchronize, so the two
+    # constants must agree for the DP cost model to match execution.
+    stage_sync_us: float = 2.5          # barrier fixed cost used by plan_stage
+    device_sync_base_us: float = 2.5    # cudaDeviceSynchronize fixed cost
+    memcpy_overhead_us: float = 1.5     # per-cudaMemcpyAsync call setup
+    malloc_us: float = 4.0
+    free_us: float = 2.0
+    stream_create_us: float = 8.0
+    # Library/module loading (the cuLibraryLoadData block of Figure 8):
+    # loading the cuDNN/cuBLAS kernel images at session start.
+    library_load_calls: int = 77
+    library_load_total_us: float = 2.2e6
+    # Sustained efficiency per kernel category.
+    compute_efficiency: dict = field(default_factory=lambda: {
+        "conv": 0.45,
+        "matmul": 0.62,
+        "pooling": 0.30,
+        "elementwise": 0.50,
+        "reduction": 0.40,
+    })
+    memory_efficiency: dict = field(default_factory=lambda: {
+        "conv": 0.75,
+        "matmul": 0.80,
+        "pooling": 0.82,
+        "elementwise": 0.85,
+        "reduction": 0.80,
+    })
+
+    @property
+    def cuda_cores(self) -> int:
+        return self.sm_count * self.cores_per_sm
+
+    @property
+    def peak_fp32_tflops(self) -> float:
+        """FMA dual-issue peak: 2 ops/clock/core."""
+        return 2.0 * self.cuda_cores * self.boost_clock_ghz / 1e3
+
+    @property
+    def peak_flops(self) -> float:
+        return self.peak_fp32_tflops * 1e12
+
+    @property
+    def dram_bandwidth(self) -> float:
+        return self.dram_bandwidth_gbs * 1e9
+
+    @property
+    def dram_capacity_bytes(self) -> int:
+        return int(self.dram_capacity_gb * 1024**3)
+
+    @property
+    def pcie_bandwidth(self) -> float:
+        return self.pcie_bandwidth_gbs * 1e9
+
+    @property
+    def max_concurrent_blocks(self) -> int:
+        return self.sm_count * self.concurrent_blocks_per_sm
+
+
+#: The paper's GPU (Dell Precision 5820 workstation card).
+RTX_A5500 = DeviceSpec()

@@ -1,0 +1,84 @@
+"""Energy model for simulated inference.
+
+Inference efficiency at the SC venue is ultimately about joules as much
+as milliseconds: the RTX A5500 is a 230 W part, and a watershed-scale
+inference campaign (millions of chips) is energy-bound.  This module
+estimates per-run energy from the execution trace with the standard
+two-component model::
+
+    E = P_idle * wall_time + (P_board - P_idle) * sum(kernel utilization-time)
+
+Kernel "utilization-time" weights each kernel's duration by how much of
+the device it can actually use (its occupancy), so a batch-1 run full of
+tiny kernels burns far fewer joules than its wall clock suggests —
+and energy per image improves with batching even faster than latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .device import DeviceSpec
+from .executor import RunResult
+from .kernels import KernelCostModel
+
+__all__ = ["EnergyModel", "EnergyReport"]
+
+#: Board power defaults for the A5500 (datasheet TGP and measured idle).
+_DEFAULT_BOARD_W = 230.0
+_DEFAULT_IDLE_W = 22.0
+
+
+@dataclass(frozen=True)
+class EnergyReport:
+    """Energy decomposition of one inference run."""
+
+    batch: int
+    wall_time_us: float
+    idle_energy_mj: float
+    dynamic_energy_mj: float
+
+    @property
+    def total_mj(self) -> float:
+        return self.idle_energy_mj + self.dynamic_energy_mj
+
+    @property
+    def mj_per_image(self) -> float:
+        return self.total_mj / self.batch
+
+    @property
+    def average_power_w(self) -> float:
+        if self.wall_time_us <= 0:
+            return 0.0
+        return 1e6 * self.total_mj * 1e-3 / self.wall_time_us
+
+
+class EnergyModel:
+    """Computes :class:`EnergyReport` records from run traces."""
+
+    def __init__(self, device: DeviceSpec, board_w: float = _DEFAULT_BOARD_W,
+                 idle_w: float = _DEFAULT_IDLE_W) -> None:
+        if idle_w < 0 or board_w <= idle_w:
+            raise ValueError("need 0 <= idle power < board power")
+        self.device = device
+        self.board_w = board_w
+        self.idle_w = idle_w
+        self._cost_model = KernelCostModel(device)
+
+    def report(self, result: RunResult) -> EnergyReport:
+        """Energy of one run: idle floor over the wall time plus dynamic
+        power over occupancy-weighted kernel time."""
+        wall_s = result.latency_us * 1e-6
+        util_time_s = sum(
+            event.duration_us * event.utilization for event in result.trace.kernels
+        ) * 1e-6
+        # Cap utilization-time by the wall clock (overlap can't exceed it).
+        util_time_s = min(util_time_s, wall_s)
+        idle_mj = self.idle_w * wall_s * 1e3
+        dynamic_mj = (self.board_w - self.idle_w) * util_time_s * 1e3
+        return EnergyReport(
+            batch=result.batch,
+            wall_time_us=result.latency_us,
+            idle_energy_mj=idle_mj,
+            dynamic_energy_mj=dynamic_mj,
+        )

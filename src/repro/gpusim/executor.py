@@ -1,0 +1,303 @@
+"""Execute an IR graph on the simulated GPU under a stage/group schedule.
+
+The executor is the simulator's "measurement harness": both the IOS
+dynamic program (which needs stage latencies) and the benchmarks (which
+need end-to-end numbers and traces) run graphs through it.
+
+Execution of one stage follows the work–span law: each group runs
+sequentially on its own CUDA stream, groups overlap, and the stage can
+never finish faster than its total resource footprint at full device
+throughput.  When the raw overlapped span undercuts that floor, kernel
+durations are stretched proportionally — modeling SM/bandwidth contention
+between concurrent kernels.  :func:`plan_stage` is the single source of
+truth for stage timing: the IOS dynamic program optimizes exactly the
+quantity the executor measures.
+
+Activations are carved from one arena allocated per inference (mirroring
+framework caching allocators), so host-side allocation cost is
+schedule-independent and stage latency reduces to launch overhead +
+overlapped device span + a stage barrier.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from ..graph.ir import Graph, OpType
+from .device import DeviceSpec
+from .kernels import KernelCostModel, KernelSpec, kernel_name
+from .runtime import CudaRuntime, Trace
+
+__all__ = [
+    "RunResult",
+    "GraphExecutor",
+    "ScheduleError",
+    "sequential_stages",
+    "validate_stages",
+    "StagePlan",
+    "plan_stage",
+]
+
+_DTYPE_BYTES = 4
+
+
+class ScheduleError(ValueError):
+    """Raised when a schedule does not cover the graph or breaks deps."""
+
+
+StageGroups = Sequence[Sequence[Sequence[str]]]
+
+
+def sequential_stages(graph: Graph) -> list[list[list[str]]]:
+    """The IOS 'sequential schedule' baseline: one op per stage."""
+    return [[[op.name]] for op in graph.compute_nodes()]
+
+
+def _coerce_stages(schedule) -> list[list[list[str]]]:
+    """Accept a Schedule object (duck-typed) or raw nested lists."""
+    if hasattr(schedule, "stage_groups"):
+        schedule = schedule.stage_groups()
+    return [[list(group) for group in stage] for stage in schedule]
+
+
+def validate_stages(graph: Graph, stages: StageGroups) -> None:
+    """Check a schedule covers each compute op exactly once and respects deps.
+
+    Rules (IOS semantics):
+    * every compute node appears in exactly one group of one stage;
+    * an op's producers are either in earlier stages or earlier in the
+      *same group* (sequential within a group);
+    * ops in different groups of the same stage must be independent.
+    """
+    compute = {op.name for op in graph.compute_nodes()}
+    seen: set[str] = set()
+    completed: set[str] = {op.name for op in graph.input_nodes()}
+    for si, stage in enumerate(stages):
+        stage_ops: set[str] = set()
+        for group in stage:
+            done_in_group: set[str] = set()
+            for name in group:
+                if name not in compute:
+                    raise ScheduleError(f"stage {si}: unknown or non-compute op {name!r}")
+                if name in seen:
+                    raise ScheduleError(f"op {name!r} scheduled twice")
+                seen.add(name)
+                stage_ops.add(name)
+                for dep in graph[name].inputs:
+                    if dep in completed or dep in done_in_group:
+                        continue
+                    raise ScheduleError(
+                        f"stage {si}: op {name!r} depends on {dep!r} which is neither "
+                        "completed nor earlier in the same group"
+                    )
+                done_in_group.add(name)
+        completed |= stage_ops
+    missing = compute - seen
+    if missing:
+        raise ScheduleError(f"schedule does not cover ops: {sorted(missing)}")
+
+
+@dataclass(frozen=True)
+class StagePlan:
+    """Deterministic timing plan of one stage.
+
+    durations_us follows the round-robin launch order used at emission.
+    ``latency_us`` is the host-observed stage time including the barrier.
+    """
+
+    span_us: float
+    launch_us: float
+    latency_us: float
+    scale: float
+    durations_us: tuple[float, ...]
+
+
+def plan_stage(
+    groups: Sequence[Sequence[str]],
+    specs: Mapping[str, KernelSpec],
+    device: DeviceSpec,
+) -> StagePlan:
+    """Plan one stage: work–span contention model + launch gating.
+
+    Groups run concurrently on separate streams; kernels inside a group run
+    sequentially.  Kernel durations are stretched by ``scale`` when total
+    stage work exceeds the overlapped span (device saturation).  The host
+    launches kernels round-robin across groups (one launch per
+    ``kernel_launch_us``), and a kernel cannot start before its launch
+    returns.  Stage latency = max(host launch time, device span) + barrier.
+    """
+    n_kernels = sum(len(g) for g in groups)
+    if n_kernels == 0:
+        raise ValueError("empty stage")
+    group_spans = [sum(specs[name].solo_us for name in group) for group in groups]
+    span0 = max(group_spans)
+    work = sum(specs[name].work_us for group in groups for name in group)
+    scale = max(1.0, work / span0) if span0 > 0 else 1.0
+
+    lam = device.kernel_launch_us
+    host = 0.0
+    frontier = [0.0] * len(groups)
+    cursors = [0] * len(groups)
+    durations: list[float] = []
+    pending = n_kernels
+    while pending:
+        for gi, group in enumerate(groups):
+            if cursors[gi] >= len(group):
+                continue
+            name = group[cursors[gi]]
+            host += lam
+            duration = specs[name].solo_us * scale
+            start = max(host, frontier[gi])
+            frontier[gi] = start + duration
+            durations.append(duration)
+            cursors[gi] += 1
+            pending -= 1
+    span = max(frontier)
+    latency = max(host, span) + device.stage_sync_us
+    return StagePlan(
+        span_us=span,
+        launch_us=host,
+        latency_us=latency,
+        scale=scale,
+        durations_us=tuple(durations),
+    )
+
+
+@dataclass
+class RunResult:
+    """Timing and resource outcome of one scheduled inference."""
+
+    batch: int
+    latency_us: float
+    stage_latencies_us: list[float]
+    peak_memory_bytes: int
+    trace: Trace
+    num_stages: int
+
+    @property
+    def latency_ms(self) -> float:
+        return self.latency_us / 1e3
+
+    @property
+    def efficiency_us_per_image(self) -> float:
+        """The paper's 'inference efficiency': latency / batch size."""
+        return self.latency_us / self.batch
+
+    @property
+    def throughput_images_per_s(self) -> float:
+        return 1e6 * self.batch / self.latency_us
+
+
+class GraphExecutor:
+    """Runs IR graphs on a :class:`CudaRuntime` under IOS-style schedules."""
+
+    def __init__(self, graph: Graph, device: DeviceSpec | None = None,
+                 runtime: CudaRuntime | None = None) -> None:
+        graph.validate()
+        self.graph = graph
+        self.runtime = runtime if runtime is not None else CudaRuntime(device)
+        self.device = self.runtime.device
+        self.cost_model = KernelCostModel(self.device)
+        self._weights = None
+        self._streams: list[int] = [0]
+
+    # -- setup -----------------------------------------------------------
+    def prepare(self) -> None:
+        """Initialize the session and load weights onto the device."""
+        self.runtime.init_session()
+        if self._weights is None:
+            from ..graph.analysis import weight_bytes
+
+            nbytes = int(weight_bytes(self.graph))
+            self._weights = self.runtime.malloc(nbytes, tag="weights")
+            self.runtime.memcpy_h2d(nbytes)
+
+    def _ensure_streams(self, count: int) -> None:
+        while len(self._streams) < count:
+            self._streams.append(self.runtime.stream_create())
+
+    def _arena_bytes(self, batch: int) -> int:
+        """Input + all activations + the largest conv im2col workspace."""
+        graph = self.graph
+        activ = sum(batch * op.out_elems * _DTYPE_BYTES for op in graph.nodes())
+        workspace = 0
+        for op in graph.compute_nodes():
+            if op.op_type is OpType.CONV2D:
+                k = int(op.attr("kernel"))
+                c_in = int(op.attr("in_channels"))
+                _, ho, wo = op.out_shape
+                workspace = max(workspace, batch * ho * wo * c_in * k * k * _DTYPE_BYTES)
+        return activ + workspace
+
+    # -- core -------------------------------------------------------------
+    def run(self, schedule, batch: int) -> RunResult:
+        """Execute one inference of ``batch`` images under ``schedule``."""
+        if batch < 1:
+            raise ValueError(f"batch must be >= 1, got {batch}")
+        stages = _coerce_stages(schedule)
+        validate_stages(self.graph, stages)
+        self.prepare()
+        rt = self.runtime
+        graph = self.graph
+        specs = self.cost_model.specs(graph, batch)
+        self._ensure_streams(max((len(stage) for stage in stages), default=1))
+
+        trace_start = (len(rt.trace.api), len(rt.trace.kernels), len(rt.trace.memcpy))
+        t0 = rt.host_time
+
+        arena = rt.malloc(self._arena_bytes(batch), tag="activation-arena")
+        input_bytes = sum(batch * op.out_elems * _DTYPE_BYTES for op in graph.input_nodes())
+        rt.memcpy_h2d(input_bytes)
+
+        stage_latencies: list[float] = []
+        for si, stage in enumerate(stages):
+            stage_t0 = rt.host_time
+            plan = plan_stage(stage, specs, self.device)
+            cursors = [0] * len(stage)
+            pending = sum(len(g) for g in stage)
+            di = 0
+            while pending:
+                for gi, group in enumerate(stage):
+                    if cursors[gi] >= len(group):
+                        continue
+                    name = group[cursors[gi]]
+                    rt.launch_kernel(
+                        specs[name],
+                        duration_us=plan.durations_us[di],
+                        stream=self._streams[gi],
+                        kernel_symbol=kernel_name(graph[name]),
+                    )
+                    cursors[gi] += 1
+                    di += 1
+                    pending -= 1
+            # IOS places a cudaDeviceSynchronize barrier after every stage —
+            # the call whose cost grows with batch size in Figure 8.
+            rt.device_synchronize()
+            stage_latencies.append(rt.host_time - stage_t0)
+        out_bytes = sum(batch * op.out_elems * _DTYPE_BYTES for op in graph.output_nodes())
+        rt.memcpy_d2h(out_bytes)
+        rt.free(arena)
+
+        latency = rt.host_time - t0
+        a0, k0, m0 = trace_start
+        window = Trace(
+            api=rt.trace.api[a0:],
+            kernels=rt.trace.kernels[k0:],
+            memcpy=rt.trace.memcpy[m0:],
+        )
+        return RunResult(
+            batch=batch,
+            latency_us=latency,
+            stage_latencies_us=stage_latencies,
+            peak_memory_bytes=rt.memory.peak,
+            trace=window,
+            num_stages=len(stages),
+        )
+
+    def measure(self, schedule, batch: int, repeats: int = 3) -> float:
+        """Median latency (us) over ``repeats`` runs (deterministic sim:
+        repeats exist to mirror the IOS measurement API)."""
+        results = [self.run(schedule, batch) for _ in range(repeats)]
+        latencies = sorted(r.latency_us for r in results)
+        return latencies[len(latencies) // 2]

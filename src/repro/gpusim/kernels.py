@@ -1,0 +1,127 @@
+"""Roofline kernel cost model for the simulated GPU.
+
+Each IR operator lowers to one GPU kernel.  Its execution time when run
+*alone* on the device (``solo_time``) is the classic roofline bound —
+the max of compute time at occupancy-degraded throughput and DRAM time —
+while ``work_time`` is its resource footprint at full device utilization,
+used as the throughput floor when several kernels share the device inside
+one IOS stage (work–span law: a stage can never finish faster than total
+work divided by machine throughput).
+
+This is the mechanism behind every efficiency result in the paper:
+
+* batch-1 fully-connected layers are DRAM-bound on their weight matrix
+  (Table 3's matmul share), while convolutions grow linearly with batch
+  and dominate at batch 64;
+* small kernels underutilize the 80 SMs, so batching improves efficiency
+  with diminishing returns once kernels saturate (Figure 6);
+* inter-operator parallelism overlaps occupancy-limited kernels but cannot
+  beat the bandwidth wall (why IOS gains shrink at large batch).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..graph.analysis import OpCost, op_cost
+from ..graph.ir import Graph, Operator, OpType
+from .device import DeviceSpec
+
+__all__ = ["KernelSpec", "KernelCostModel", "categorize", "kernel_name"]
+
+#: IR op type -> profiler kernel category (Table 3 columns + the rest).
+_CATEGORY: dict[OpType, str] = {
+    OpType.CONV2D: "conv",
+    OpType.LINEAR: "matmul",
+    OpType.MAXPOOL: "pooling",
+    OpType.ADAPTIVE_MAXPOOL: "pooling",
+    OpType.RELU: "elementwise",
+    OpType.CONCAT: "elementwise",
+    OpType.FLATTEN: "elementwise",
+    OpType.IDENTITY: "elementwise",
+    OpType.ADD: "elementwise",
+    OpType.SOFTMAX: "reduction",
+}
+
+#: Simulated kernel symbol names, mirroring what nsys would report.
+_KERNEL_NAMES: dict[str, str] = {
+    "conv": "sim_cudnn::implicit_gemm_fprop",
+    "matmul": "sim_cublas::sgemm_tn",
+    "pooling": "sim_cudnn::pooling_fwd_max",
+    "elementwise": "sim_elementwise::vectorized_kernel",
+    "reduction": "sim_reduce::softmax_warp",
+}
+
+
+def categorize(op_type: OpType) -> str:
+    """Map an IR operator type to its profiler kernel category."""
+    try:
+        return _CATEGORY[op_type]
+    except KeyError:  # pragma: no cover - defensive
+        raise ValueError(f"no kernel category for {op_type}") from None
+
+
+def kernel_name(op: Operator) -> str:
+    """Simulated kernel symbol for an operator (for profiler reports)."""
+    return f"{_KERNEL_NAMES[categorize(op.op_type)]}<{op.name}>"
+
+
+@dataclass(frozen=True)
+class KernelSpec:
+    """Timing-relevant description of one kernel execution (microseconds)."""
+
+    op_name: str
+    category: str
+    solo_us: float       # latency running alone (occupancy-aware roofline)
+    work_us: float       # full-device throughput time (work floor)
+    blocks: int
+    flops: float
+    dram_bytes: float
+
+
+class KernelCostModel:
+    """Computes :class:`KernelSpec` records for IR operators on a device."""
+
+    #: Minimum device-side kernel duration (scheduling/tail latency), us.
+    MIN_KERNEL_US = 0.8
+
+    def __init__(self, device: DeviceSpec) -> None:
+        self.device = device
+
+    def occupancy(self, threads: int) -> float:
+        """Fraction of device throughput a kernel can use on its own."""
+        if threads <= 0:
+            return 1.0
+        blocks = math.ceil(threads / self.device.threads_per_block)
+        return min(1.0, blocks / self.device.max_concurrent_blocks)
+
+    def spec(self, graph: Graph, op: Operator, batch: int) -> KernelSpec:
+        """Cost a single operator execution at ``batch`` samples."""
+        cost: OpCost = op_cost(graph, op, batch)
+        category = categorize(op.op_type)
+        ce = self.device.compute_efficiency[category]
+        me = self.device.memory_efficiency[category]
+        occ = self.occupancy(cost.threads)
+        blocks = max(1, math.ceil(cost.threads / self.device.threads_per_block))
+
+        t_mem = 1e6 * cost.dram_bytes / (self.device.dram_bandwidth * me)
+        t_compute_solo = 1e6 * cost.flops / (self.device.peak_flops * ce * max(occ, 1e-6))
+        solo = max(t_compute_solo, t_mem, self.MIN_KERNEL_US)
+
+        t_compute_full = 1e6 * cost.flops / (self.device.peak_flops * ce)
+        work = max(t_compute_full, t_mem, self.MIN_KERNEL_US * 0.25)
+
+        return KernelSpec(
+            op_name=op.name,
+            category=category,
+            solo_us=solo,
+            work_us=work,
+            blocks=blocks,
+            flops=cost.flops,
+            dram_bytes=cost.dram_bytes,
+        )
+
+    def specs(self, graph: Graph, batch: int) -> dict[str, KernelSpec]:
+        """Cost every compute node of ``graph`` (keyed by op name)."""
+        return {op.name: self.spec(graph, op, batch) for op in graph.compute_nodes()}

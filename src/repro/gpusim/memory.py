@@ -1,0 +1,71 @@
+"""Device memory allocator with a usage timeline.
+
+Tracks every ``cudaMalloc``/``cudaFree`` the simulated runtime performs so
+the profiler can report peak usage and verify the paper's Figure 7
+observation that inference memory stays far below the 24 GB capacity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Allocation", "OutOfMemoryError", "DeviceMemory"]
+
+
+class OutOfMemoryError(MemoryError):
+    """Simulated device allocation exceeded capacity."""
+
+
+@dataclass(frozen=True)
+class Allocation:
+    """One live device buffer."""
+
+    handle: int
+    size: int
+    tag: str
+
+
+@dataclass
+class DeviceMemory:
+    """Bump-handle allocator over a fixed capacity with usage history."""
+
+    capacity: int
+    used: int = 0
+    peak: int = 0
+    _next_handle: int = 1
+    _live: dict[int, Allocation] = field(default_factory=dict)
+    #: (time_us, used_bytes) samples, appended on every alloc/free.
+    timeline: list[tuple[float, int]] = field(default_factory=list)
+
+    def alloc(self, size: int, time_us: float, tag: str = "") -> Allocation:
+        """Allocate ``size`` bytes; raises :class:`OutOfMemoryError` if full."""
+        if size < 0:
+            raise ValueError(f"negative allocation size {size}")
+        if self.used + size > self.capacity:
+            raise OutOfMemoryError(
+                f"device OOM: requested {size} bytes with {self.capacity - self.used} free "
+                f"(capacity {self.capacity})"
+            )
+        allocation = Allocation(self._next_handle, size, tag)
+        self._next_handle += 1
+        self._live[allocation.handle] = allocation
+        self.used += size
+        self.peak = max(self.peak, self.used)
+        self.timeline.append((time_us, self.used))
+        return allocation
+
+    def free(self, allocation: Allocation, time_us: float) -> None:
+        """Release a live allocation; double-free raises ``KeyError``."""
+        if allocation.handle not in self._live:
+            raise KeyError(f"free of unknown/freed handle {allocation.handle}")
+        del self._live[allocation.handle]
+        self.used -= allocation.size
+        self.timeline.append((time_us, self.used))
+
+    def live_allocations(self) -> list[Allocation]:
+        return list(self._live.values())
+
+    @property
+    def utilization(self) -> float:
+        """Current fraction of capacity in use."""
+        return self.used / self.capacity

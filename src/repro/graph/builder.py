@@ -1,0 +1,142 @@
+"""Lower an :class:`~repro.arch.SPPNetConfig` to the computation-graph IR.
+
+The SPP layer becomes the branched block the Inter-Operator Scheduler
+exists for: one ``ADAPTIVE_MAXPOOL`` branch per pyramid level, converging
+on a ``CONCAT``.  The detection head contributes a second (smaller)
+branched region: the classifier and box-regressor linears both consume the
+last FC feature.
+"""
+
+from __future__ import annotations
+
+from ..arch import SPPNetConfig
+from .ir import Graph, GraphError, Operator, OpType
+
+__all__ = ["build_sppnet_graph", "build_inception_graph"]
+
+
+def build_sppnet_graph(
+    config: SPPNetConfig,
+    input_size: int = 100,
+    num_classes: int = 2,
+    box_outputs: int = 4,
+    include_head: bool = True,
+) -> Graph:
+    """Build the inference graph of one SPP-Net candidate.
+
+    Parameters
+    ----------
+    config : architecture hyper-parameters (Table 1 grammar).
+    input_size : square chip size in pixels (paper: 100).
+    num_classes : classifier outputs (crossing / background).
+    box_outputs : bbox regression outputs (cx, cy, w, h).
+    include_head : when False, stop at the last FC feature (useful for
+        scheduling experiments on the backbone alone).
+    """
+    g = Graph(name=config.name)
+    g.add(Operator("input", OpType.INPUT, out_shape=(config.in_channels, input_size, input_size)))
+
+    prev = "input"
+    channels = config.in_channels
+    size = input_size
+    for i, (conv, pool) in enumerate(zip(config.convs, config.pools), start=1):
+        out_size = (size - conv.kernel) // conv.stride + 1
+        if out_size <= 0:
+            raise GraphError(f"input {input_size} collapses at conv{i} of {config.name}")
+        g.add(Operator(
+            f"conv{i}", OpType.CONV2D, (prev,), (conv.filters, out_size, out_size),
+            attrs={"in_channels": channels, "kernel": conv.kernel, "stride": conv.stride,
+                   "in_size": size},
+        ))
+        g.add(Operator(f"relu{i}", OpType.RELU, (f"conv{i}",),
+                       (conv.filters, out_size, out_size)))
+        size = out_size
+        pooled = (size - pool.kernel) // pool.stride + 1
+        if pooled <= 0:
+            raise GraphError(f"input {input_size} collapses at pool{i} of {config.name}")
+        g.add(Operator(
+            f"pool{i}", OpType.MAXPOOL, (f"relu{i}",), (conv.filters, pooled, pooled),
+            attrs={"kernel": pool.kernel, "stride": pool.stride, "in_size": size},
+        ))
+        prev = f"pool{i}"
+        channels = conv.filters
+        size = pooled
+
+    if size < max(config.spp_levels):
+        raise GraphError(
+            f"trunk output {size}x{size} too small for SPP level {max(config.spp_levels)}"
+        )
+
+    # SPP block: one adaptive-max-pool branch per pyramid level.
+    branch_names = []
+    for level in config.spp_levels:
+        name = f"spp{level}"
+        g.add(Operator(
+            name, OpType.ADAPTIVE_MAXPOOL, (prev,), (channels, level, level),
+            attrs={"output_size": level, "in_size": size, "in_channels": channels},
+        ))
+        branch_names.append(name)
+    spp_features = config.spp_features
+    g.add(Operator("spp_concat", OpType.CONCAT, tuple(branch_names), (spp_features,)))
+
+    prev = "spp_concat"
+    in_features = spp_features
+    for j, width in enumerate(config.fc_sizes, start=1):
+        g.add(Operator(f"fc{j}", OpType.LINEAR, (prev,), (width,),
+                       attrs={"in_features": in_features}))
+        g.add(Operator(f"fc{j}_relu", OpType.RELU, (f"fc{j}",), (width,)))
+        prev = f"fc{j}_relu"
+        in_features = width
+
+    if include_head:
+        # Classification and box regression heads branch from the same feature.
+        g.add(Operator("cls_head", OpType.LINEAR, (prev,), (num_classes,),
+                       attrs={"in_features": in_features}))
+        g.add(Operator("box_head", OpType.LINEAR, (prev,), (box_outputs,),
+                       attrs={"in_features": in_features}))
+        g.add(Operator("cls_softmax", OpType.SOFTMAX, ("cls_head",), (num_classes,)))
+
+    g.validate()
+    return g
+
+
+def build_inception_graph(
+    branches: int = 4,
+    depth: int = 2,
+    channels: int = 64,
+    in_channels: int = 512,
+    size: int = 8,
+    name: str = "inception-block",
+) -> Graph:
+    """A synthetic Inception-style block: ``branches`` parallel conv chains
+    of ``depth`` between one input and one concat.
+
+    This is the scheduler-ablation workload: at batch 1 the small per-branch
+    convolutions are occupancy-limited, so the IOS DP should place the
+    branches in parallel groups and strictly beat both the sequential and
+    the single-stage schedules.
+    """
+    if branches < 2 or depth < 1:
+        raise GraphError("need >= 2 branches of depth >= 1")
+    g = Graph(name=name)
+    g.add(Operator("input", OpType.INPUT, out_shape=(in_channels, size, size)))
+    tails: list[str] = []
+    for b in range(branches):
+        prev = "input"
+        prev_channels = in_channels
+        for d in range(depth):
+            node = f"b{b}_conv{d}"
+            g.add(Operator(
+                node, OpType.CONV2D, (prev,), (channels, size, size),
+                attrs={"in_channels": prev_channels, "kernel": 3, "stride": 1,
+                       "in_size": size + 2},  # padded 'same' convolution
+            ))
+            relu = f"b{b}_relu{d}"
+            g.add(Operator(relu, OpType.RELU, (node,), (channels, size, size)))
+            prev = relu
+            prev_channels = channels
+        tails.append(prev)
+    g.add(Operator("concat", OpType.CONCAT, tuple(tails),
+                   (branches * channels, size, size)))
+    g.validate()
+    return g

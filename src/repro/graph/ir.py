@@ -1,0 +1,186 @@
+"""Computation-graph intermediate representation.
+
+A :class:`Graph` is a DAG of :class:`Operator` nodes with *per-sample*
+output shapes (the batch dimension is supplied at execution time, mirroring
+how IOS re-optimizes a schedule per batch size).  The IR is deliberately
+small: it carries exactly the information the IOS dynamic program and the
+GPU cost model need — operator category, tensor shapes, and dependency
+structure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Iterator, Mapping
+
+__all__ = ["OpType", "Operator", "Graph", "GraphError"]
+
+
+class GraphError(ValueError):
+    """Raised for malformed graph construction or validation failures."""
+
+
+class OpType(str, Enum):
+    """Operator categories understood by the cost model and profiler."""
+
+    INPUT = "input"
+    CONV2D = "conv2d"
+    RELU = "relu"
+    MAXPOOL = "maxpool"
+    ADAPTIVE_MAXPOOL = "adaptive_maxpool"
+    FLATTEN = "flatten"
+    CONCAT = "concat"
+    LINEAR = "linear"
+    SOFTMAX = "softmax"
+    ADD = "add"
+    IDENTITY = "identity"
+
+
+@dataclass(frozen=True)
+class Operator:
+    """One node of the computation graph.
+
+    Attributes
+    ----------
+    name : unique node identifier within its graph.
+    op_type : operator category (drives the cost model).
+    inputs : names of producer nodes, in argument order.
+    out_shape : per-sample output shape, e.g. ``(C, H, W)`` or ``(F,)``.
+    attrs : static attributes (kernel, stride, in_channels, features, ...).
+    """
+
+    name: str
+    op_type: OpType
+    inputs: tuple[str, ...] = ()
+    out_shape: tuple[int, ...] = ()
+    attrs: Mapping[str, object] = field(default_factory=dict)
+
+    def attr(self, key: str, default=None):
+        return self.attrs.get(key, default)
+
+    @property
+    def out_elems(self) -> int:
+        """Number of scalar outputs per sample."""
+        n = 1
+        for d in self.out_shape:
+            n *= d
+        return n
+
+
+class Graph:
+    """A DAG of operators with shape-checked edges.
+
+    Nodes are appended with :meth:`add`; producers must exist before
+    consumers, so insertion order is already a topological order (this is
+    asserted by :meth:`validate`).
+    """
+
+    def __init__(self, name: str = "graph") -> None:
+        self.name = name
+        self._nodes: dict[str, Operator] = {}
+        self._order: list[str] = []
+
+    # -- construction ----------------------------------------------------
+    def add(self, op: Operator) -> Operator:
+        if op.name in self._nodes:
+            raise GraphError(f"duplicate node name {op.name!r}")
+        for dep in op.inputs:
+            if dep not in self._nodes:
+                raise GraphError(f"node {op.name!r} depends on unknown node {dep!r}")
+        self._nodes[op.name] = op
+        self._order.append(op.name)
+        return op
+
+    # -- accessors ---------------------------------------------------------
+    def __contains__(self, name: str) -> bool:
+        return name in self._nodes
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __getitem__(self, name: str) -> Operator:
+        return self._nodes[name]
+
+    def nodes(self) -> Iterator[Operator]:
+        """Iterate operators in insertion (topological) order."""
+        return (self._nodes[n] for n in self._order)
+
+    def names(self) -> list[str]:
+        return list(self._order)
+
+    def predecessors(self, name: str) -> tuple[str, ...]:
+        return self._nodes[name].inputs
+
+    def successors(self, name: str) -> list[str]:
+        return [n for n in self._order if name in self._nodes[n].inputs]
+
+    def successor_map(self) -> dict[str, list[str]]:
+        """All successor lists in one pass (preferred for hot loops)."""
+        succ: dict[str, list[str]] = {n: [] for n in self._order}
+        for n in self._order:
+            for dep in self._nodes[n].inputs:
+                succ[dep].append(n)
+        return succ
+
+    def input_nodes(self) -> list[Operator]:
+        return [op for op in self.nodes() if op.op_type is OpType.INPUT]
+
+    def output_nodes(self) -> list[Operator]:
+        succ = self.successor_map()
+        return [op for op in self.nodes() if not succ[op.name]]
+
+    def compute_nodes(self) -> list[Operator]:
+        """All non-INPUT operators in topological order (what gets scheduled)."""
+        return [op for op in self.nodes() if op.op_type is not OpType.INPUT]
+
+    # -- validation --------------------------------------------------------
+    def validate(self) -> None:
+        """Check DAG well-formedness; raises :class:`GraphError` on failure."""
+        if not self._nodes:
+            raise GraphError("empty graph")
+        seen: set[str] = set()
+        for name in self._order:
+            op = self._nodes[name]
+            for dep in op.inputs:
+                if dep not in seen:
+                    raise GraphError(f"node {name!r} used before its input {dep!r}")
+            seen.add(name)
+        if not self.input_nodes():
+            raise GraphError("graph has no INPUT node")
+        # Every non-input node must be reachable from an input.
+        reachable = {op.name for op in self.input_nodes()}
+        for name in self._order:
+            op = self._nodes[name]
+            if op.op_type is OpType.INPUT:
+                continue
+            if not op.inputs:
+                raise GraphError(f"non-input node {name!r} has no inputs")
+            if any(dep in reachable for dep in op.inputs):
+                reachable.add(name)
+        unreachable = set(self._order) - reachable
+        if unreachable:
+            raise GraphError(f"nodes unreachable from inputs: {sorted(unreachable)}")
+
+    # -- analysis helpers ----------------------------------------------------
+    def ancestors(self, name: str) -> set[str]:
+        out: set[str] = set()
+        stack = list(self._nodes[name].inputs)
+        while stack:
+            cur = stack.pop()
+            if cur in out:
+                continue
+            out.add(cur)
+            stack.extend(self._nodes[cur].inputs)
+        return out
+
+    def max_antichain_upper_bound(self) -> int:
+        """Cheap upper bound on graph width (used to sanity-check DP cost)."""
+        succ = self.successor_map()
+        return max(
+            sum(1 for n in self._order if not succ[n]),
+            max((len(succ[n]) for n in self._order), default=1),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Graph({self.name!r}, {len(self)} nodes)"

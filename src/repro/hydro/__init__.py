@@ -1,0 +1,34 @@
+"""repro.hydro — DEM conditioning, D8 routing, delineation and breaching."""
+
+from .breach import breach_at_crossing, breach_dem
+from .connectivity import ConnectivityReport, assess_connectivity
+from .delineate import StreamNetwork, delineate_streams, trace_flow_path
+from .fill import depression_mask, priority_flood_fill
+from .order import basin_labels, basin_sizes, strahler_order
+from .flow import (
+    D8_OFFSETS,
+    FLOW_NONE,
+    downstream_index,
+    flow_accumulation,
+    flow_direction,
+)
+
+__all__ = [
+    "priority_flood_fill",
+    "depression_mask",
+    "D8_OFFSETS",
+    "FLOW_NONE",
+    "flow_direction",
+    "flow_accumulation",
+    "downstream_index",
+    "StreamNetwork",
+    "delineate_streams",
+    "trace_flow_path",
+    "breach_at_crossing",
+    "breach_dem",
+    "ConnectivityReport",
+    "assess_connectivity",
+    "strahler_order",
+    "basin_labels",
+    "basin_sizes",
+]

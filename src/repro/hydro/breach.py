@@ -1,0 +1,85 @@
+"""Crossing-aware DEM breaching.
+
+Incorporating detected drainage-crossing locations into the elevation
+model (Figure 1(B)): at each crossing, the embankment is cut by lowering
+a short transect of cells to a monotone ramp between the upstream and
+downstream toe elevations, restoring the hydraulic connection the culvert
+provides in reality.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["breach_at_crossing", "breach_dem"]
+
+
+def _transect(center: tuple[int, int], radius: int, axis: str) -> list[tuple[int, int]]:
+    r, c = center
+    if axis == "ns":
+        return [(r + d, c) for d in range(-radius, radius + 1)]
+    if axis == "ew":
+        return [(r, c + d) for d in range(-radius, radius + 1)]
+    raise ValueError(f"axis must be 'ns' or 'ew', got {axis!r}")
+
+
+def breach_at_crossing(
+    dem: np.ndarray,
+    center: tuple[int, int],
+    radius: int = 3,
+    drop: float = 0.05,
+) -> np.ndarray:
+    """Breach one crossing in place and return the modified DEM.
+
+    The barrier axis is chosen automatically: the transect (N-S or E-W
+    through ``center``) whose endpoints are *lowest* relative to its crest
+    is the flow direction; cells along it are lowered onto a monotone ramp
+    slightly below the lower endpoint to guarantee drainage.
+    """
+    if radius < 1:
+        raise ValueError("radius must be >= 1")
+    rows, cols = dem.shape
+    r, c = center
+    if not (0 <= r < rows and 0 <= c < cols):
+        raise IndexError(f"crossing {center} outside DEM of shape {dem.shape}")
+
+    best_axis, best_score = None, None
+    for axis in ("ns", "ew"):
+        cells = _transect(center, radius, axis)
+        if any(not (0 <= rr < rows and 0 <= cc < cols) for rr, cc in cells):
+            continue
+        ends = dem[cells[0]], dem[cells[-1]]
+        crest = max(dem[rr, cc] for rr, cc in cells)
+        score = crest - min(ends)  # embankment relief along this axis
+        if best_score is None or score > best_score:
+            best_axis, best_score = axis, score
+    if best_axis is None:
+        return dem  # crossing too close to the border to breach
+
+    cells = _transect(center, radius, best_axis)
+    lo = min(dem[cells[0]], dem[cells[-1]]) - drop
+    hi_end, lo_end = (cells[0], cells[-1]) if dem[cells[0]] > dem[cells[-1]] else (cells[-1], cells[0])
+    n = len(cells)
+    for i, (rr, cc) in enumerate(cells):
+        # Monotone ramp from the higher toe down to just below the lower toe.
+        frac = i / (n - 1)
+        if cells[0] == hi_end:
+            target = dem[hi_end] * (1 - frac) + lo * frac
+        else:
+            target = lo * (1 - frac) + dem[hi_end] * frac
+        if dem[rr, cc] > target:
+            dem[rr, cc] = target
+    return dem
+
+
+def breach_dem(
+    dem: np.ndarray,
+    crossings: list[tuple[int, int]],
+    radius: int = 3,
+    drop: float = 0.05,
+) -> np.ndarray:
+    """Breach every crossing on a *copy* of ``dem`` and return it."""
+    out = np.asarray(dem, dtype=float).copy()
+    for center in crossings:
+        breach_at_crossing(out, center, radius=radius, drop=drop)
+    return out

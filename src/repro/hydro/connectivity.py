@@ -1,0 +1,88 @@
+"""Drainage connectivity metrics.
+
+Quantifies the Figure 1 comparison: how fragmented is the delineated
+stream network, and how far does flow actually travel before dying in a
+digital dam?  Used by the connectivity example and the hydro integration
+tests to show that crossing-aware breaching improves every metric.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .delineate import StreamNetwork, trace_flow_path
+from .fill import depression_mask
+
+__all__ = ["ConnectivityReport", "assess_connectivity"]
+
+
+@dataclass(frozen=True)
+class ConnectivityReport:
+    """Summary statistics of a delineated stream network."""
+
+    num_stream_cells: int
+    num_segments: int
+    largest_segment_cells: int
+    num_terminations: int
+    mean_path_length: float
+    depression_cells: int
+
+    @property
+    def fragmentation(self) -> float:
+        """Segments per 1000 stream cells (lower = better connected)."""
+        if self.num_stream_cells == 0:
+            return 0.0
+        return 1000.0 * self.num_segments / self.num_stream_cells
+
+    def better_than(self, other: "ConnectivityReport") -> bool:
+        """True when this network is strictly better connected than ``other``
+        on the headline criteria (fewer terminations, longer flow paths)."""
+        return (
+            self.num_terminations <= other.num_terminations
+            and self.mean_path_length >= other.mean_path_length
+            and (
+                self.num_terminations < other.num_terminations
+                or self.mean_path_length > other.mean_path_length
+            )
+        )
+
+
+def assess_connectivity(
+    dem: np.ndarray,
+    network: StreamNetwork,
+    sample_paths: int = 64,
+    seed: int = 0,
+) -> ConnectivityReport:
+    """Compute a :class:`ConnectivityReport` for ``network`` over ``dem``.
+
+    ``mean_path_length`` is estimated by tracing the D8 path from a
+    deterministic sample of stream cells until it exits the grid or pits.
+    """
+    labels, count = network.components()
+    sizes = np.bincount(labels.ravel())[1:] if count else np.array([0])
+    terminations = network.terminations()
+
+    stream_cells = np.argwhere(network.mask)
+    rng = np.random.default_rng(seed)
+    if len(stream_cells) == 0:
+        mean_len = 0.0
+    else:
+        take = min(sample_paths, len(stream_cells))
+        picks = rng.choice(len(stream_cells), size=take, replace=False)
+        lengths = []
+        for idx in picks:
+            start = (int(stream_cells[idx][0]), int(stream_cells[idx][1]))
+            path = trace_flow_path(network.direction, start)
+            lengths.append(len(path))
+        mean_len = float(np.mean(lengths))
+
+    return ConnectivityReport(
+        num_stream_cells=network.num_cells,
+        num_segments=int(count),
+        largest_segment_cells=int(sizes.max(initial=0)),
+        num_terminations=len(terminations),
+        mean_path_length=mean_len,
+        depression_cells=int(depression_mask(dem).sum()),
+    )

@@ -1,0 +1,98 @@
+"""Ahead-of-time / compiler-style scheduling baselines (§8.3).
+
+The paper contrasts IOS with Rammer and Nimble: those systems avoid IOS's
+measurement-driven dynamic program by generating a static schedule ahead
+of time, trading schedule quality for near-zero scheduling cost.  Two
+analogues are provided for the scheduling-cost ablation:
+
+* :func:`rammer_style_schedule` — a purely static heuristic: wavefront
+  stages whose co-resident operators are grouped by dependency component
+  (inter- + intra-operator parallelism, no cost model, no measurement);
+* :func:`nimble_style_schedule` — schedule *reuse*: run the IOS DP once
+  at a pilot batch size and re-apply the stage structure at every other
+  batch size (ahead-of-time scheduling amortized across deployments).
+
+:func:`scheduling_cost_comparison` measures both axes — time spent
+scheduling and the latency of the produced schedule — for each approach.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from ..gpusim.device import DeviceSpec
+from ..graph.ir import Graph
+from .baselines import greedy_schedule
+from .cost import measure_latency
+from .dp import dp_schedule
+from .schedule import Schedule, Stage, groups_from_ops
+
+__all__ = ["rammer_style_schedule", "nimble_style_schedule",
+           "SchedulerCostRow", "scheduling_cost_comparison"]
+
+
+def rammer_style_schedule(graph: Graph, batch: int) -> Schedule:
+    """Static wavefront schedule with component grouping (no cost model).
+
+    Each stage takes every operator whose dependencies are satisfied,
+    grouped into dependency components — the kind of static rTask plan a
+    compile-time scheduler emits without measuring anything.
+    """
+    done: set[str] = {op.name for op in graph.input_nodes()}
+    pending = [op.name for op in graph.compute_nodes()]
+    stages: list[Stage] = []
+    while pending:
+        ready = {n for n in pending if all(d in done for d in graph[n].inputs)}
+        if not ready:
+            raise RuntimeError("dependency cycle in wavefront construction")
+        stages.append(Stage(groups_from_ops(graph, ready)))
+        done |= ready
+        pending = [n for n in pending if n not in done]
+    return Schedule(graph.name, batch, tuple(stages), strategy="rammer-style")
+
+
+def nimble_style_schedule(graph: Graph, batch: int, pilot_batch: int = 1,
+                          device: DeviceSpec | None = None) -> Schedule:
+    """Reuse the DP schedule found at ``pilot_batch`` for ``batch``.
+
+    Ahead-of-time scheduling: the (expensive) search runs once; deployment
+    batches inherit the stage structure.  Quality degrades exactly where
+    the optimal structure is batch-dependent, which the ablation shows.
+    """
+    pilot = dp_schedule(graph, pilot_batch, device)
+    return Schedule(graph.name, batch, pilot.stages, strategy="nimble-style")
+
+
+@dataclass(frozen=True)
+class SchedulerCostRow:
+    """One (strategy, scheduling cost, schedule quality) measurement."""
+
+    strategy: str
+    scheduling_ms: float
+    latency_us: float
+    num_stages: int
+
+
+def scheduling_cost_comparison(
+    graph: Graph,
+    batch: int,
+    device: DeviceSpec | None = None,
+) -> list[SchedulerCostRow]:
+    """Measure scheduling time vs produced-schedule latency per approach."""
+    rows: list[SchedulerCostRow] = []
+
+    def add(name: str, build) -> None:
+        start = time.perf_counter()
+        schedule = build()
+        elapsed_ms = 1e3 * (time.perf_counter() - start)
+        latency = measure_latency(graph, schedule, device)
+        rows.append(SchedulerCostRow(name, elapsed_ms, latency,
+                                     schedule.num_stages))
+
+    add("ios-dp", lambda: dp_schedule(graph, batch, device))
+    add("rammer-style", lambda: rammer_style_schedule(graph, batch))
+    add("nimble-style(reuse@1)",
+        lambda: nimble_style_schedule(graph, batch, pilot_batch=1, device=device))
+    add("greedy", lambda: greedy_schedule(graph, batch))
+    return rows

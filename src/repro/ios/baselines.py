@@ -1,0 +1,54 @@
+"""Baseline schedulers: sequential (the paper's comparison point) and a
+greedy max-parallel heuristic (used by the scheduler ablation A1).
+"""
+
+from __future__ import annotations
+
+from ..graph.ir import Graph
+from .schedule import Group, Schedule, Stage, groups_from_ops
+
+__all__ = ["sequential_schedule", "greedy_schedule", "single_stage_schedule"]
+
+
+def sequential_schedule(graph: Graph, batch: int) -> Schedule:
+    """One operator per stage — how an eager framework with a sync after
+    every op behaves, and Table 2's 'Sequential Inference Latency' column."""
+    stages = tuple(
+        Stage((Group((op.name,)),)) for op in graph.compute_nodes()
+    )
+    return Schedule(graph.name, batch, stages, strategy="sequential")
+
+
+def greedy_schedule(graph: Graph, batch: int) -> Schedule:
+    """Maximal-parallelism greedy: every stage takes *all* currently ready
+    operators, one group per operator.
+
+    This exposes all inter-operator parallelism but pays a barrier per
+    wavefront and never amortizes launches inside a group — the classic
+    heuristic the IOS paper argues against.
+    """
+    done: set[str] = {op.name for op in graph.input_nodes()}
+    pending = [op.name for op in graph.compute_nodes()]
+    stages: list[Stage] = []
+    while pending:
+        ready = [n for n in pending if all(d in done for d in graph[n].inputs)]
+        if not ready:
+            raise RuntimeError("dependency cycle while building greedy schedule")
+        stages.append(Stage(tuple(Group((n,)) for n in ready)))
+        done.update(ready)
+        pending = [n for n in pending if n not in done]
+    return Schedule(graph.name, batch, tuple(stages), strategy="greedy")
+
+
+def single_stage_schedule(graph: Graph, batch: int) -> Schedule:
+    """Everything in one stage, grouped by dependency components.
+
+    For a connected graph this degenerates to one sequential group with a
+    single barrier — the minimum-synchronization plan.  Useful as the
+    other extreme in the scheduler ablation.
+    """
+    ops = frozenset(op.name for op in graph.compute_nodes())
+    return Schedule(
+        graph.name, batch, (Stage(groups_from_ops(graph, ops)),),
+        strategy="single-stage",
+    )

@@ -1,0 +1,179 @@
+"""Hierarchical multi-GPU inter-operator scheduling (HIOS-style extension).
+
+The paper flags multi-GPU scheduling as future work and cites HIOS (Kundu
+& Shu, Cluster 2023), which extends IOS with *inter-GPU* operator
+parallelism: independent branches of a DAG run on different GPUs, paying
+PCIe transfer costs whenever an edge crosses devices.
+
+This module implements that extension analytically on top of the same
+stage DP: stages are chosen by the single-GPU down-set enumeration, and
+within each stage the parallel groups are placed onto devices with a
+longest-processing-time (LPT) assignment.  Stage latency becomes::
+
+    max_over_devices(device span) + serialized cross-device transfers + sync
+
+so multi-GPU wins exactly when branch compute dominates transfer cost —
+wide Inception-style blocks — and loses on linear chains, which the tests
+assert.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..gpusim.device import DeviceSpec
+from ..gpusim.kernels import KernelSpec
+from ..graph.ir import Graph
+from .dp import DPScheduler
+from .schedule import Schedule
+
+__all__ = ["GroupPlacement", "MultiGpuStagePlan", "MultiGpuSchedule",
+           "multigpu_schedule"]
+
+#: Effective GPU<->GPU transfer bandwidth (PCIe p2p, bytes/s).
+_P2P_BANDWIDTH = 22e9
+_P2P_OVERHEAD_US = 5.0
+_DTYPE_BYTES = 4
+
+
+@dataclass(frozen=True)
+class GroupPlacement:
+    """One group of one stage pinned to a device."""
+
+    ops: tuple[str, ...]
+    device_index: int
+    span_us: float
+
+
+@dataclass(frozen=True)
+class MultiGpuStagePlan:
+    """Placed stage with its latency decomposition."""
+
+    placements: tuple[GroupPlacement, ...]
+    compute_us: float
+    transfer_us: float
+    sync_us: float
+
+    @property
+    def latency_us(self) -> float:
+        return self.compute_us + self.transfer_us + self.sync_us
+
+
+@dataclass(frozen=True)
+class MultiGpuSchedule:
+    """A multi-device execution plan."""
+
+    graph_name: str
+    batch: int
+    num_devices: int
+    stages: tuple[MultiGpuStagePlan, ...]
+
+    @property
+    def latency_us(self) -> float:
+        return sum(stage.latency_us for stage in self.stages)
+
+    @property
+    def transfer_us(self) -> float:
+        return sum(stage.transfer_us for stage in self.stages)
+
+    def device_of(self, op: str) -> int:
+        for stage in self.stages:
+            for placement in stage.placements:
+                if op in placement.ops:
+                    return placement.device_index
+        raise KeyError(op)
+
+    def describe(self) -> str:
+        lines = [f"MultiGpuSchedule[{self.num_devices} GPUs] for "
+                 f"{self.graph_name} @ batch {self.batch} "
+                 f"({self.latency_us:.1f} us, {self.transfer_us:.1f} us transfers)"]
+        for i, stage in enumerate(self.stages):
+            cells = "  |  ".join(
+                f"gpu{p.device_index}: {' -> '.join(p.ops)}"
+                for p in stage.placements
+            )
+            lines.append(f"  stage {i}: {cells}")
+        return "\n".join(lines)
+
+
+def _group_span(ops: tuple[str, ...], specs: dict[str, KernelSpec],
+                device: DeviceSpec) -> float:
+    return sum(specs[name].solo_us + device.kernel_launch_us for name in ops)
+
+
+def _lpt_assign(group_spans: list[float], num_devices: int) -> list[int]:
+    """Longest-processing-time first assignment; returns device per group."""
+    order = sorted(range(len(group_spans)), key=lambda i: -group_spans[i])
+    loads = [0.0] * num_devices
+    assignment = [0] * len(group_spans)
+    for i in order:
+        device = min(range(num_devices), key=loads.__getitem__)
+        assignment[i] = device
+        loads[device] += group_spans[i]
+    return assignment
+
+
+def multigpu_schedule(
+    graph: Graph,
+    batch: int,
+    num_devices: int = 2,
+    device: DeviceSpec | None = None,
+) -> MultiGpuSchedule:
+    """Place the IOS-DP stages of ``graph`` across ``num_devices`` GPUs.
+
+    Uses the single-GPU DP to find the stage structure (which already
+    maximizes mergeable parallelism), then LPT-balances each stage's
+    groups over the devices and charges PCIe transfers for every edge
+    whose producer lives on a different device — including the edges
+    *between* stages.
+    """
+    if num_devices < 1:
+        raise ValueError("need at least one device")
+    device = device if device is not None else DeviceSpec()
+    scheduler = DPScheduler(graph, batch, device)
+    single: Schedule = scheduler.solve()
+    specs = scheduler._specs
+
+    op_device: dict[str, int] = {op.name: 0 for op in graph.input_nodes()}
+    stages: list[MultiGpuStagePlan] = []
+    for stage in single.stages:
+        groups = [g.ops for g in stage.groups]
+        spans = [_group_span(ops, specs, device) for ops in groups]
+        assignment = _lpt_assign(spans, min(num_devices, len(groups)))
+
+        placements = tuple(
+            GroupPlacement(ops=ops, device_index=dev, span_us=span)
+            for ops, span, dev in zip(groups, spans, assignment)
+        )
+        loads: dict[int, float] = {}
+        for p in placements:
+            loads[p.device_index] = loads.get(p.device_index, 0.0) + p.span_us
+            for name in p.ops:
+                op_device[name] = p.device_index
+        compute = max(loads.values())
+
+        # Cross-device input edges pay a serialized PCIe p2p transfer.
+        transfer = 0.0
+        for p in placements:
+            group_set = set(p.ops)
+            for name in p.ops:
+                for dep in graph[name].inputs:
+                    if dep in group_set:
+                        continue
+                    src = op_device.get(dep, 0)
+                    if src != p.device_index:
+                        nbytes = batch * graph[dep].out_elems * _DTYPE_BYTES
+                        transfer += _P2P_OVERHEAD_US + 1e6 * nbytes / _P2P_BANDWIDTH
+
+        stages.append(MultiGpuStagePlan(
+            placements=placements,
+            compute_us=compute,
+            transfer_us=transfer,
+            sync_us=device.stage_sync_us,
+        ))
+    return MultiGpuSchedule(
+        graph_name=graph.name,
+        batch=batch,
+        num_devices=num_devices,
+        stages=tuple(stages),
+    )

@@ -1,0 +1,80 @@
+"""End-to-end schedule optimization entry points.
+
+``optimize_schedule`` is the library's main IOS API: give it a graph and a
+batch size, get back the measured optimal schedule next to the sequential
+baseline — the two columns of the paper's Table 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..gpusim.device import DeviceSpec
+from ..graph.ir import Graph
+from .baselines import greedy_schedule, sequential_schedule, single_stage_schedule
+from .cost import measure_latency
+from .dp import dp_schedule
+from .schedule import Schedule
+
+__all__ = ["OptimizationResult", "optimize_schedule", "compare_strategies"]
+
+_STRATEGIES = {
+    "sequential": sequential_schedule,
+    "greedy": greedy_schedule,
+    "single-stage": single_stage_schedule,
+}
+
+
+@dataclass(frozen=True)
+class OptimizationResult:
+    """Sequential-vs-optimized outcome for one graph and batch size."""
+
+    graph_name: str
+    batch: int
+    sequential: Schedule
+    optimized: Schedule
+
+    @property
+    def sequential_latency_us(self) -> float:
+        assert self.sequential.latency_us is not None
+        return self.sequential.latency_us
+
+    @property
+    def optimized_latency_us(self) -> float:
+        assert self.optimized.latency_us is not None
+        return self.optimized.latency_us
+
+    @property
+    def speedup(self) -> float:
+        return self.sequential_latency_us / self.optimized_latency_us
+
+
+def optimize_schedule(
+    graph: Graph,
+    batch: int,
+    device: DeviceSpec | None = None,
+    max_stage_ops: int | None = None,
+) -> OptimizationResult:
+    """Run IOS on ``graph`` and measure both schedules on the simulator."""
+    device = device if device is not None else DeviceSpec()
+    seq = sequential_schedule(graph, batch)
+    seq = seq.with_latency(measure_latency(graph, seq, device))
+    opt = dp_schedule(graph, batch, device, max_stage_ops=max_stage_ops)
+    opt = opt.with_latency(measure_latency(graph, opt, device))
+    return OptimizationResult(graph.name, batch, seq, opt)
+
+
+def compare_strategies(
+    graph: Graph,
+    batch: int,
+    device: DeviceSpec | None = None,
+) -> dict[str, Schedule]:
+    """Measure every scheduling strategy (ablation A1's raw data)."""
+    device = device if device is not None else DeviceSpec()
+    out: dict[str, Schedule] = {}
+    for name, build in _STRATEGIES.items():
+        schedule = build(graph, batch)
+        out[name] = schedule.with_latency(measure_latency(graph, schedule, device))
+    dp = dp_schedule(graph, batch, device)
+    out["ios-dp"] = dp.with_latency(measure_latency(graph, dp, device))
+    return out

@@ -1,0 +1,44 @@
+"""repro.nas — NNI/Retiarii-style neural architecture search toolkit."""
+
+from .constrained import (
+    CandidateProfile,
+    benchmark_candidates,
+    constrained_selection,
+    resource_aware_selection,
+)
+from .parallel import ParallelExperiment
+from .pareto import dominates, front_table, knee_point, pareto_front
+from .evaluator import EvaluationResult, FunctionalEvaluator, TrainingEvaluator
+from .experiment import Experiment, TrialRecord
+from .space import ModelSpace, ValueChoice, config_from_sample, sppnet_search_space
+from .strategy import (
+    GreedyBanditStrategy,
+    GridSearchStrategy,
+    RandomStrategy,
+    RegularizedEvolution,
+)
+
+__all__ = [
+    "ValueChoice",
+    "ModelSpace",
+    "sppnet_search_space",
+    "config_from_sample",
+    "EvaluationResult",
+    "FunctionalEvaluator",
+    "TrainingEvaluator",
+    "TrialRecord",
+    "Experiment",
+    "RandomStrategy",
+    "GridSearchStrategy",
+    "RegularizedEvolution",
+    "GreedyBanditStrategy",
+    "CandidateProfile",
+    "benchmark_candidates",
+    "constrained_selection",
+    "resource_aware_selection",
+    "dominates",
+    "pareto_front",
+    "knee_point",
+    "front_table",
+    "ParallelExperiment",
+]

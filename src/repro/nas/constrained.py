@@ -1,0 +1,100 @@
+"""Accuracy-constrained inference-efficiency optimization (§5.3–5.4).
+
+The paper converts the dual objective (maximize accuracy a(n) *and*
+efficiency e(n)) into::
+
+    maximize e(n), n in N,  subject to  a(n) > A
+
+The Figure 5 pipeline: NAS produces candidates with measured accuracy;
+candidates over the threshold are benchmarked through IOS on the
+(simulated) GPU; the most efficient one wins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..arch import SPPNetConfig
+from ..gpusim.device import DeviceSpec
+from ..graph.builder import build_sppnet_graph
+from ..ios.optimizer import optimize_schedule
+
+__all__ = ["CandidateProfile", "benchmark_candidates", "constrained_selection",
+           "resource_aware_selection"]
+
+
+@dataclass(frozen=True)
+class CandidateProfile:
+    """One NAS candidate with both objectives measured."""
+
+    config: SPPNetConfig
+    accuracy: float
+    sequential_latency_us: float
+    optimized_latency_us: float
+    batch: int
+
+    @property
+    def efficiency(self) -> float:
+        """Inference efficiency: images per second under the IOS schedule."""
+        return 1e6 * self.batch / self.optimized_latency_us
+
+    @property
+    def speedup(self) -> float:
+        return self.sequential_latency_us / self.optimized_latency_us
+
+
+def benchmark_candidates(
+    candidates: Sequence[tuple[SPPNetConfig, float]],
+    batch: int = 1,
+    device: DeviceSpec | None = None,
+    input_size: int = 100,
+) -> list[CandidateProfile]:
+    """IOS-benchmark (sequential + optimized) every (config, accuracy) pair."""
+    profiles: list[CandidateProfile] = []
+    for config, accuracy in candidates:
+        graph = build_sppnet_graph(config, input_size=input_size)
+        result = optimize_schedule(graph, batch, device)
+        profiles.append(CandidateProfile(
+            config=config,
+            accuracy=accuracy,
+            sequential_latency_us=result.sequential_latency_us,
+            optimized_latency_us=result.optimized_latency_us,
+            batch=batch,
+        ))
+    return profiles
+
+
+def constrained_selection(
+    profiles: Sequence[CandidateProfile],
+    accuracy_threshold: float,
+) -> CandidateProfile:
+    """maximize e(n) subject to a(n) > A.
+
+    Raises ``ValueError`` when no candidate satisfies the constraint (the
+    caller should lower A or search more architectures).
+    """
+    feasible = [p for p in profiles if p.accuracy > accuracy_threshold]
+    if not feasible:
+        best_acc = max((p.accuracy for p in profiles), default=float("nan"))
+        raise ValueError(
+            f"no candidate exceeds accuracy threshold {accuracy_threshold:.4f} "
+            f"(best observed {best_acc:.4f})"
+        )
+    return max(feasible, key=lambda p: p.efficiency)
+
+
+def resource_aware_selection(
+    candidates: Sequence[tuple[SPPNetConfig, float]],
+    accuracy_threshold: float,
+    batch: int = 1,
+    device: DeviceSpec | None = None,
+    input_size: int = 100,
+) -> tuple[CandidateProfile, list[CandidateProfile]]:
+    """The full Figure 5 pipeline: benchmark, filter, select.
+
+    Returns (winner, all profiles).
+    """
+    profiles = benchmark_candidates(candidates, batch=batch, device=device,
+                                    input_size=input_size)
+    return constrained_selection(profiles, accuracy_threshold), profiles

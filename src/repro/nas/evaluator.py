@@ -1,0 +1,64 @@
+"""Model evaluators (Retiarii's FunctionalEvaluator equivalent).
+
+An evaluator turns a sampled architecture into the scalar objective the
+exploration strategy maximizes, optionally with auxiliary metrics that
+the experiment records per trial.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping
+
+from ..arch import SPPNetConfig
+from .space import config_from_sample
+
+__all__ = ["EvaluationResult", "FunctionalEvaluator", "TrainingEvaluator"]
+
+
+class EvaluationResult(dict):
+    """Metric dict with a mandatory ``value`` objective entry."""
+
+    def __init__(self, value: float, **metrics) -> None:
+        super().__init__(value=float(value), **metrics)
+
+    @property
+    def value(self) -> float:
+        return self["value"]
+
+
+class FunctionalEvaluator:
+    """Wraps a plain callable ``fn(sample) -> float | Mapping``.
+
+    This is the paper's choice ("we used FunctionalEvaluator, the default
+    evaluator provided by the Retiarii framework").  The callable may
+    return a bare float (treated as the objective) or a mapping with a
+    ``value`` key plus any extra metrics.
+    """
+
+    def __init__(self, fn: Callable[[Mapping], float | Mapping]) -> None:
+        self.fn = fn
+
+    def evaluate(self, sample: Mapping) -> EvaluationResult:
+        out = self.fn(sample)
+        if isinstance(out, Mapping):
+            if "value" not in out:
+                raise KeyError("evaluator mapping result must contain 'value'")
+            metrics = dict(out)
+            value = float(metrics.pop("value"))
+            return EvaluationResult(value, **metrics)
+        return EvaluationResult(float(out))
+
+
+class TrainingEvaluator(FunctionalEvaluator):
+    """Evaluator that trains a real detector per sample.
+
+    ``train_fn(config: SPPNetConfig) -> float | Mapping`` receives the
+    instantiated architecture, keeping the search space decoding in one
+    place.
+    """
+
+    def __init__(self, train_fn: Callable[[SPPNetConfig], float | Mapping],
+                 in_channels: int = 4) -> None:
+        super().__init__(lambda sample: train_fn(
+            config_from_sample(sample, in_channels=in_channels)
+        ))

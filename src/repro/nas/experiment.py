@@ -1,0 +1,113 @@
+"""Multi-trial NAS experiment driver (Retiarii's experiment loop).
+
+Runs strategy-proposed architectures through an evaluator, records every
+trial, and aggregates results — "the tuning workflow organized by
+aggregating and comparing tuning results" the paper credits NNI with.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Mapping
+
+import numpy as np
+
+from .evaluator import EvaluationResult, FunctionalEvaluator
+from .space import ModelSpace
+from .strategy import ExplorationStrategy, RandomStrategy
+
+__all__ = ["TrialRecord", "Experiment"]
+
+
+@dataclass(frozen=True)
+class TrialRecord:
+    """One evaluated architecture."""
+
+    trial_id: int
+    sample: Mapping
+    value: float
+    metrics: Mapping
+    duration_s: float
+
+    def metric(self, key: str, default=None):
+        return self.metrics.get(key, default)
+
+
+@dataclass
+class Experiment:
+    """Multi-trial search experiment.
+
+    Parameters
+    ----------
+    space : the model space to explore.
+    evaluator : trial evaluator (typically :class:`FunctionalEvaluator`).
+    strategy : exploration strategy; defaults to the paper's random search.
+    max_trials : trial budget.
+    seed : seeds the strategy RNG.
+    deduplicate : skip proposals already evaluated (retrying up to
+        ``dedup_patience`` times before accepting a duplicate).
+    """
+
+    space: ModelSpace
+    evaluator: FunctionalEvaluator
+    strategy: ExplorationStrategy = field(default_factory=RandomStrategy)
+    max_trials: int = 20
+    seed: int = 0
+    deduplicate: bool = True
+    dedup_patience: int = 50
+    trials: list[TrialRecord] = field(default_factory=list)
+
+    def run(self) -> list[TrialRecord]:
+        """Execute the trial loop and return all records."""
+        if self.max_trials < 1:
+            raise ValueError("max_trials must be >= 1")
+        rng = np.random.default_rng(self.seed)
+        seen = {ModelSpace.encode(t.sample) for t in self.trials}
+        while len(self.trials) < self.max_trials:
+            sample = self.strategy.propose(self.space, self.trials, rng)
+            if self.deduplicate:
+                retries = 0
+                while ModelSpace.encode(sample) in seen and retries < self.dedup_patience:
+                    sample = self.strategy.propose(self.space, self.trials, rng)
+                    retries += 1
+                if ModelSpace.encode(sample) in seen and len(seen) >= self.space.size:
+                    break  # space exhausted
+            self.space.validate(sample)
+            start = time.perf_counter()
+            result: EvaluationResult = self.evaluator.evaluate(sample)
+            record = TrialRecord(
+                trial_id=len(self.trials),
+                sample=dict(sample),
+                value=result.value,
+                metrics={k: v for k, v in result.items() if k != "value"},
+                duration_s=time.perf_counter() - start,
+            )
+            self.trials.append(record)
+            seen.add(ModelSpace.encode(sample))
+        return self.trials
+
+    # -- aggregation ------------------------------------------------------
+    def best(self) -> TrialRecord:
+        if not self.trials:
+            raise RuntimeError("experiment has not run")
+        return max(self.trials, key=lambda t: t.value)
+
+    def top_k(self, k: int) -> list[TrialRecord]:
+        return sorted(self.trials, key=lambda t: t.value, reverse=True)[:k]
+
+    def above_threshold(self, threshold: float) -> list[TrialRecord]:
+        """Trials meeting the accuracy constraint of §5.4 (a(n) > A)."""
+        return [t for t in self.trials if t.value > threshold]
+
+    def results_table(self) -> str:
+        """Tuning-result comparison table, best first."""
+        if not self.trials:
+            return "(no trials)"
+        names = [c.name for c in self.space.choices]
+        header = f"{'trial':>5}  {'value':>8}  " + "  ".join(f"{n:>14}" for n in names)
+        lines = [header, "-" * len(header)]
+        for t in sorted(self.trials, key=lambda t: t.value, reverse=True):
+            cells = "  ".join(f"{str(t.sample.get(n)):>14}" for n in names)
+            lines.append(f"{t.trial_id:>5}  {t.value:8.4f}  {cells}")
+        return "\n".join(lines)

@@ -1,0 +1,92 @@
+"""Concurrent trial execution (multi-worker NAS dispatch).
+
+The paper notes Retiarii "currently supports NAS exclusively for single
+GPU setups" and defers multi-GPU NAS to future work.  Trial-level
+parallelism is the simplest form: exploration strategies propose batches
+of architectures and workers evaluate them concurrently.  On this
+substrate the workers are threads (NumPy's BLAS releases the GIL inside
+the GEMMs that dominate trial training), but the dispatch logic is what a
+multi-GPU NNI deployment would use.
+
+Determinism: proposals are drawn from the seeded strategy RNG *before*
+dispatch and trials are recorded in proposal order, so a parallel
+experiment explores exactly the trials the sequential one would with the
+same strategy/seed (strategies that adapt to history see history only at
+batch boundaries — the standard synchronous-batch NAS semantics).
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .evaluator import FunctionalEvaluator
+from .experiment import TrialRecord
+from .space import ModelSpace
+from .strategy import ExplorationStrategy, RandomStrategy
+
+__all__ = ["ParallelExperiment"]
+
+
+@dataclass
+class ParallelExperiment:
+    """Synchronous-batch multi-worker NAS experiment."""
+
+    space: ModelSpace
+    evaluator: FunctionalEvaluator
+    strategy: ExplorationStrategy = field(default_factory=RandomStrategy)
+    max_trials: int = 20
+    workers: int = 4
+    seed: int = 0
+    deduplicate: bool = True
+    trials: list[TrialRecord] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ValueError("workers must be >= 1")
+
+    def _propose_batch(self, rng: np.random.Generator,
+                       seen: set[tuple]) -> list[dict]:
+        batch: list[dict] = []
+        attempts = 0
+        want = min(self.workers, self.max_trials - len(self.trials))
+        while len(batch) < want and attempts < 50 * want:
+            attempts += 1
+            sample = dict(self.strategy.propose(self.space, self.trials, rng))
+            encoding = ModelSpace.encode(sample)
+            if self.deduplicate and encoding in seen:
+                continue
+            seen.add(encoding)
+            self.space.validate(sample)
+            batch.append(sample)
+        return batch
+
+    def run(self) -> list[TrialRecord]:
+        """Run trials in worker batches until the budget is spent."""
+        rng = np.random.default_rng(self.seed)
+        seen = {ModelSpace.encode(t.sample) for t in self.trials}
+        with ThreadPoolExecutor(max_workers=self.workers) as pool:
+            while len(self.trials) < self.max_trials:
+                batch = self._propose_batch(rng, seen)
+                if not batch:
+                    break  # space exhausted
+                start = time.perf_counter()
+                results = list(pool.map(self.evaluator.evaluate, batch))
+                duration = time.perf_counter() - start
+                for sample, result in zip(batch, results):
+                    self.trials.append(TrialRecord(
+                        trial_id=len(self.trials),
+                        sample=sample,
+                        value=result.value,
+                        metrics={k: v for k, v in result.items() if k != "value"},
+                        duration_s=duration / len(batch),
+                    ))
+        return self.trials
+
+    def best(self) -> TrialRecord:
+        if not self.trials:
+            raise RuntimeError("experiment has not run")
+        return max(self.trials, key=lambda t: t.value)

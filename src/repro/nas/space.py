@@ -1,0 +1,162 @@
+"""Model search-space definition (NNI/Retiarii "mutable" style).
+
+§4.2 of the paper defines three mutated quantities:
+
+* **feature engineering** — first convolution filter size in {1, 3, 5, 7, 9};
+* **SPP layer** — first (finest) pyramid level in {1, 2, 3, 4, 5};
+* **fully-connected layers** — widths in {128, 256, ..., 8192}.
+
+:class:`ValueChoice` mirrors Retiarii's primitive of the same name;
+:class:`ModelSpace` is a named collection of choices that supports
+sampling, grid enumeration, mutation, and deterministic encoding (for
+trial deduplication).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Iterator, Mapping
+
+import numpy as np
+
+from ..arch import ConvSpec, PoolSpec, SPPNetConfig
+
+__all__ = ["ValueChoice", "ModelSpace", "sppnet_search_space", "config_from_sample"]
+
+
+@dataclass(frozen=True)
+class ValueChoice:
+    """A named categorical hyper-parameter."""
+
+    name: str
+    candidates: tuple
+
+    def __post_init__(self) -> None:
+        if not self.candidates:
+            raise ValueError(f"choice {self.name!r} has no candidates")
+        if len(set(self.candidates)) != len(self.candidates):
+            raise ValueError(f"choice {self.name!r} has duplicate candidates")
+
+    def sample(self, rng: np.random.Generator):
+        return self.candidates[int(rng.integers(len(self.candidates)))]
+
+    def __len__(self) -> int:
+        return len(self.candidates)
+
+
+class ModelSpace:
+    """An ordered set of :class:`ValueChoice` mutables."""
+
+    def __init__(self, choices: list[ValueChoice]) -> None:
+        if not choices:
+            raise ValueError("empty model space")
+        names = [c.name for c in choices]
+        if len(set(names)) != len(names):
+            raise ValueError("duplicate choice names")
+        self.choices = list(choices)
+
+    def __getitem__(self, name: str) -> ValueChoice:
+        for choice in self.choices:
+            if choice.name == name:
+                return choice
+        raise KeyError(name)
+
+    @property
+    def size(self) -> int:
+        """Number of distinct architectures in the space."""
+        n = 1
+        for choice in self.choices:
+            n *= len(choice)
+        return n
+
+    def sample(self, rng: np.random.Generator) -> dict:
+        """Draw one architecture uniformly at random (the paper's strategy)."""
+        return {c.name: c.sample(rng) for c in self.choices}
+
+    def grid(self) -> Iterator[dict]:
+        """Enumerate the whole space in lexicographic order."""
+        names = [c.name for c in self.choices]
+        for values in itertools.product(*(c.candidates for c in self.choices)):
+            yield dict(zip(names, values))
+
+    def mutate(self, sample: Mapping, rng: np.random.Generator) -> dict:
+        """Change exactly one choice to a different value (evolution step)."""
+        out = dict(sample)
+        choice = self.choices[int(rng.integers(len(self.choices)))]
+        alternatives = [v for v in choice.candidates if v != out[choice.name]]
+        if alternatives:
+            out[choice.name] = alternatives[int(rng.integers(len(alternatives)))]
+        return out
+
+    def validate(self, sample: Mapping) -> None:
+        for choice in self.choices:
+            if choice.name not in sample:
+                raise KeyError(f"sample missing choice {choice.name!r}")
+            if sample[choice.name] not in choice.candidates:
+                raise ValueError(
+                    f"{sample[choice.name]!r} is not a candidate of {choice.name!r}"
+                )
+
+    @staticmethod
+    def encode(sample: Mapping) -> tuple:
+        """Canonical hashable encoding for deduplication."""
+        return tuple(sorted(sample.items()))
+
+
+def sppnet_search_space(include_second_fc: bool = False,
+                        include_batchnorm: bool = False) -> ModelSpace:
+    """The paper's §4.2 search space.
+
+    ``include_second_fc`` adds the second FC width §4.2 mentions; Table 1
+    reports single-F architectures, so the default keeps one FC layer.
+    ``include_batchnorm`` adds the BatchNorm extension axis (folds into
+    convolutions at inference, so it trades training dynamics, not
+    latency).
+    """
+    choices = [
+        ValueChoice("first_kernel", (1, 3, 5, 7, 9)),
+        ValueChoice("spp_first_level", (1, 2, 3, 4, 5)),
+        ValueChoice("fc_width", (128, 256, 512, 1024, 2048, 4096, 8192)),
+    ]
+    if include_second_fc:
+        choices.append(ValueChoice("fc2_width", (128, 256, 512, 1024, 2048, 4096, 8192)))
+    if include_batchnorm:
+        choices.append(ValueChoice("batchnorm", (False, True)))
+    return ModelSpace(choices)
+
+
+def config_from_sample(sample: Mapping, in_channels: int = 4,
+                       name: str | None = None) -> SPPNetConfig:
+    """Instantiate the SPP-Net architecture a search-space sample encodes.
+
+    The finest pyramid level joins the fixed coarser (2, 1) levels; when it
+    would duplicate one of them (levels must be distinct), the pyramid
+    degenerates the way the paper's grammar implies: level 2 -> (2, 1),
+    level 1 -> (1,).
+    """
+    first = int(sample["spp_first_level"])
+    if first > 2:
+        levels: tuple[int, ...] = (first, 2, 1)
+    elif first == 2:
+        levels = (2, 1)
+    else:
+        levels = (1,)
+    fc_sizes: tuple[int, ...] = (int(sample["fc_width"]),)
+    if "fc2_width" in sample:
+        fc_sizes = fc_sizes + (int(sample["fc2_width"]),)
+    k = int(sample["first_kernel"])
+    batchnorm = bool(sample.get("batchnorm", False))
+    label = name or (
+        f"SPPNet[k{k}-spp{first}-fc{'x'.join(str(s) for s in fc_sizes)}"
+        + ("-bn" if batchnorm else "") + "]"
+    )
+    return SPPNetConfig(
+        convs=(ConvSpec(64, k, 1), ConvSpec(128, 3, 1), ConvSpec(256, 3, 1)),
+        pools=(PoolSpec(2, 2), PoolSpec(2, 2), PoolSpec(2, 2)),
+        spp_levels=levels,
+        fc_sizes=fc_sizes,
+        in_channels=in_channels,
+        name=label,
+        use_batchnorm=batchnorm,
+    )

@@ -1,0 +1,122 @@
+"""Exploration strategies for multi-trial NAS.
+
+The paper uses random search; grid search, regularized evolution and a
+light SMBO policy are provided for the strategy ablation benchmark.
+Every strategy implements ``propose(space, history, rng) -> sample`` and
+is stateless apart from what it derives from ``history`` (so experiments
+can be resumed deterministically).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Mapping, Protocol, Sequence
+
+import numpy as np
+
+from .space import ModelSpace
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .experiment import TrialRecord
+
+__all__ = [
+    "ExplorationStrategy",
+    "RandomStrategy",
+    "GridSearchStrategy",
+    "RegularizedEvolution",
+    "GreedyBanditStrategy",
+]
+
+
+class ExplorationStrategy(Protocol):
+    """Strategy protocol: propose the next architecture to evaluate."""
+
+    name: str
+
+    def propose(self, space: ModelSpace, history: Sequence["TrialRecord"],
+                rng: np.random.Generator) -> Mapping: ...
+
+
+class RandomStrategy:
+    """Uniform random sampling — the paper's exploration strategy (§4.2)."""
+
+    name = "random"
+
+    def propose(self, space: ModelSpace, history, rng: np.random.Generator) -> dict:
+        return space.sample(rng)
+
+
+class GridSearchStrategy:
+    """Lexicographic sweep of the whole space (exhaustive baseline).
+
+    Proposes the first grid point not present in history; falls back to
+    random once the grid is exhausted.
+    """
+
+    name = "grid"
+
+    def propose(self, space: ModelSpace, history, rng: np.random.Generator) -> dict:
+        tried = {ModelSpace.encode(t.sample) for t in history}
+        for sample in space.grid():
+            if ModelSpace.encode(sample) not in tried:
+                return sample
+        return space.sample(rng)
+
+
+class RegularizedEvolution:
+    """Aging evolution (Real et al., 2019): tournament + single mutation.
+
+    Keeps the most recent ``population`` trials alive; each proposal
+    mutates the best of ``sample_size`` randomly drawn members.  Falls
+    back to random sampling while the population is warming up.
+    """
+
+    name = "evolution"
+
+    def __init__(self, population: int = 16, sample_size: int = 4) -> None:
+        if population < 2 or sample_size < 1:
+            raise ValueError("population >= 2 and sample_size >= 1 required")
+        self.population = population
+        self.sample_size = sample_size
+
+    def propose(self, space: ModelSpace, history, rng: np.random.Generator) -> dict:
+        alive = list(history)[-self.population:]
+        if len(alive) < self.sample_size:
+            return space.sample(rng)
+        picks = rng.choice(len(alive), size=self.sample_size, replace=False)
+        parent = max((alive[int(i)] for i in picks), key=lambda t: t.value)
+        return space.mutate(parent.sample, rng)
+
+
+class GreedyBanditStrategy:
+    """Per-choice epsilon-greedy SMBO.
+
+    Scores each candidate value of each choice by the mean objective of
+    the trials that used it, then proposes the per-choice argmax with
+    probability 1-epsilon (random otherwise).  A cheap stand-in for TPE
+    that needs no density estimation.
+    """
+
+    name = "bandit"
+
+    def __init__(self, epsilon: float = 0.3) -> None:
+        if not 0.0 <= epsilon <= 1.0:
+            raise ValueError("epsilon must be in [0, 1]")
+        self.epsilon = epsilon
+
+    def propose(self, space: ModelSpace, history, rng: np.random.Generator) -> dict:
+        if not history or rng.random() < self.epsilon:
+            return space.sample(rng)
+        sample: dict = {}
+        for choice in space.choices:
+            means: dict = {}
+            for trial in history:
+                value = trial.sample.get(choice.name)
+                if value is not None:
+                    means.setdefault(value, []).append(trial.value)
+            scored = {v: float(np.mean(vals)) for v, vals in means.items()}
+            untried = [v for v in choice.candidates if v not in scored]
+            if untried:
+                sample[choice.name] = untried[int(rng.integers(len(untried)))]
+            else:
+                sample[choice.name] = max(scored, key=scored.get)
+        return sample

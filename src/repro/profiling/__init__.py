@@ -1,0 +1,24 @@
+"""repro.profiling — Nsight-Systems-style profiler for the simulated GPU."""
+
+from .categories import DISPLAY_NAMES, TABLE3_CATEGORIES, display_name
+from .nsys import ApiStat, KernelStat, MemopsStat, ProfileReport, profile_session
+from .report import format_api_table, format_kernel_table, format_memops, format_report
+from .timeline import ascii_gantt, save_chrome_trace, to_chrome_trace
+
+__all__ = [
+    "DISPLAY_NAMES",
+    "TABLE3_CATEGORIES",
+    "display_name",
+    "ApiStat",
+    "KernelStat",
+    "MemopsStat",
+    "ProfileReport",
+    "profile_session",
+    "format_report",
+    "format_api_table",
+    "format_kernel_table",
+    "format_memops",
+    "ascii_gantt",
+    "to_chrome_trace",
+    "save_chrome_trace",
+]

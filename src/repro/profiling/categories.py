@@ -1,0 +1,27 @@
+"""Kernel-category taxonomy for the profiler.
+
+Maps the simulator's kernel categories to the display names the paper
+uses in Table 3 ("Matrix Multiplication", "Pooling", "Conv") plus the
+remaining categories nsys would show.
+"""
+
+from __future__ import annotations
+
+__all__ = ["DISPLAY_NAMES", "TABLE3_CATEGORIES", "display_name"]
+
+#: simulator category -> human-readable display name.
+DISPLAY_NAMES: dict[str, str] = {
+    "matmul": "Matrix Multiplication",
+    "pooling": "Pooling",
+    "conv": "Conv",
+    "elementwise": "Elementwise",
+    "reduction": "Reduction",
+}
+
+#: The three operator classes Table 3 reports, in column order.
+TABLE3_CATEGORIES: tuple[str, ...] = ("matmul", "pooling", "conv")
+
+
+def display_name(category: str) -> str:
+    """Display name for a kernel category (falls back to the raw name)."""
+    return DISPLAY_NAMES.get(category, category)

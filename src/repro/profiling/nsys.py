@@ -1,0 +1,189 @@
+"""Nsight-Systems-style profiling of the simulated CUDA runtime.
+
+``nsys profile --stats=true python IOS_Model.py`` profiles a *whole
+process*: CUDA context creation, kernel-module loading, the benchmark
+loop, every API call, kernel, and memory operation.
+:func:`profile_session` reproduces that: it builds a fresh runtime, runs
+session initialization, a warmup, then ``iterations`` inferences of the
+given schedule, and aggregates the trace into the three summaries the
+paper reads off nsys:
+
+* **CUDA API statistics** (Figure 8): time share per API, dominated by
+  ``cuLibraryLoadData`` at small batches and ``cudaDeviceSynchronize``
+  at large ones;
+* **kernel statistics by category** (Table 3): matmul / pooling / conv
+  time shares;
+* **memory-operation statistics** (Figure 7): GPU memops timing.  The
+  paper plots a per-inference-image quantity that falls and then flattens
+  as per-transfer overhead amortizes; we report exactly
+  ``total memop time / images processed`` in nanoseconds and record the
+  interpretation in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..gpusim.device import DeviceSpec
+from ..gpusim.executor import GraphExecutor
+from ..gpusim.runtime import CudaRuntime, Trace
+from ..graph.ir import Graph
+from .categories import TABLE3_CATEGORIES, display_name
+
+__all__ = ["ApiStat", "KernelStat", "MemopsStat", "ProfileReport", "profile_session"]
+
+
+@dataclass(frozen=True)
+class ApiStat:
+    """One row of the CUDA API summary."""
+
+    name: str
+    total_us: float
+    calls: int
+    share: float  # fraction of total API time
+
+    @property
+    def avg_us(self) -> float:
+        return self.total_us / self.calls if self.calls else 0.0
+
+
+@dataclass(frozen=True)
+class KernelStat:
+    """One row of the kernel summary, aggregated by category."""
+
+    category: str
+    total_us: float
+    count: int
+    share: float  # fraction of total kernel time
+
+    @property
+    def display(self) -> str:
+        return display_name(self.category)
+
+
+@dataclass(frozen=True)
+class MemopsStat:
+    """GPU memory-operation summary (Figure 7's data)."""
+
+    total_us: float
+    count: int
+    total_bytes: int
+    images: int
+
+    @property
+    def per_image_ns(self) -> float:
+        """Average GPU memops time attributable to one inferred image."""
+        return 1e3 * self.total_us / self.images if self.images else 0.0
+
+    @property
+    def avg_call_us(self) -> float:
+        return self.total_us / self.count if self.count else 0.0
+
+
+@dataclass
+class ProfileReport:
+    """Aggregated profile of one benchmark session."""
+
+    label: str
+    batch: int
+    iterations: int
+    api: list[ApiStat]
+    kernels: list[KernelStat]
+    memops: MemopsStat
+    peak_memory_bytes: int
+    device_capacity_bytes: int
+    mean_latency_us: float
+
+    def api_share(self, name: str) -> float:
+        for stat in self.api:
+            if stat.name == name:
+                return stat.share
+        return 0.0
+
+    def kernel_share(self, category: str) -> float:
+        for stat in self.kernels:
+            if stat.category == category:
+                return stat.share
+        return 0.0
+
+    def table3_row(self) -> dict[str, float]:
+        """Matmul/pooling/conv kernel-time percentages (one Table 3 row)."""
+        return {c: 100.0 * self.kernel_share(c) for c in TABLE3_CATEGORIES}
+
+    @property
+    def memory_utilization(self) -> float:
+        return self.peak_memory_bytes / self.device_capacity_bytes
+
+
+def _aggregate_api(trace: Trace) -> list[ApiStat]:
+    totals: dict[str, list[float]] = {}
+    for event in trace.api:
+        entry = totals.setdefault(event.name, [0.0, 0])
+        entry[0] += event.duration_us
+        entry[1] += 1
+    grand = sum(v[0] for v in totals.values()) or 1.0
+    stats = [
+        ApiStat(name, total, int(calls), total / grand)
+        for name, (total, calls) in totals.items()
+    ]
+    stats.sort(key=lambda s: s.total_us, reverse=True)
+    return stats
+
+
+def _aggregate_kernels(trace: Trace) -> list[KernelStat]:
+    totals: dict[str, list[float]] = {}
+    for event in trace.kernels:
+        entry = totals.setdefault(event.category, [0.0, 0])
+        entry[0] += event.duration_us
+        entry[1] += 1
+    grand = sum(v[0] for v in totals.values()) or 1.0
+    stats = [
+        KernelStat(category, total, int(count), total / grand)
+        for category, (total, count) in totals.items()
+    ]
+    stats.sort(key=lambda s: s.total_us, reverse=True)
+    return stats
+
+
+def profile_session(
+    graph: Graph,
+    schedule,
+    batch: int,
+    device: DeviceSpec | None = None,
+    iterations: int = 1000,
+    warmup: int = 10,
+    label: str | None = None,
+) -> ProfileReport:
+    """Profile a full benchmark session of ``iterations`` inferences.
+
+    The returned report covers *everything* the process did — session
+    initialization (module loading), warmup, and the timed loop — exactly
+    like ``nsys profile`` on the paper's ``IOS_Model.py``.
+    """
+    if iterations < 1:
+        raise ValueError("iterations must be >= 1")
+    runtime = CudaRuntime(device)
+    executor = GraphExecutor(graph, runtime=runtime)
+    executor.prepare()
+    for _ in range(warmup):
+        executor.run(schedule, batch)
+    latencies = [executor.run(schedule, batch).latency_us for _ in range(iterations)]
+
+    trace = runtime.trace
+    memops = MemopsStat(
+        total_us=trace.memcpy_time(),
+        count=len(trace.memcpy),
+        total_bytes=trace.memcpy_bytes(),
+        images=(iterations + warmup) * batch,
+    )
+    return ProfileReport(
+        label=label or graph.name,
+        batch=batch,
+        iterations=iterations,
+        api=_aggregate_api(trace),
+        kernels=_aggregate_kernels(trace),
+        memops=memops,
+        peak_memory_bytes=runtime.memory.peak,
+        device_capacity_bytes=runtime.device.dram_capacity_bytes,
+        mean_latency_us=sum(latencies) / len(latencies),
+    )

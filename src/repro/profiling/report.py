@@ -1,0 +1,72 @@
+"""Text rendering of profile reports, mirroring ``nsys --stats=true``."""
+
+from __future__ import annotations
+
+from .nsys import ProfileReport
+
+__all__ = ["format_report", "format_api_table", "format_kernel_table", "format_memops"]
+
+
+def _rule(width: int = 78) -> str:
+    return "-" * width
+
+
+def format_api_table(report: ProfileReport, top: int = 10) -> str:
+    """CUDA API Statistics table (Figure 8's raw view)."""
+    lines = [
+        "CUDA API Statistics:",
+        f"{'Time (%)':>9}  {'Total Time (us)':>16}  {'Num Calls':>10}  "
+        f"{'Avg (us)':>12}  Name",
+        _rule(),
+    ]
+    for stat in report.api[:top]:
+        lines.append(
+            f"{100 * stat.share:9.1f}  {stat.total_us:16.1f}  {stat.calls:10d}  "
+            f"{stat.avg_us:12.2f}  {stat.name}"
+        )
+    return "\n".join(lines)
+
+
+def format_kernel_table(report: ProfileReport) -> str:
+    """CUDA Kernel Statistics table by operator category (Table 3's view)."""
+    lines = [
+        "CUDA Kernel Statistics (by category):",
+        f"{'Time (%)':>9}  {'Total Time (us)':>16}  {'Instances':>10}  Category",
+        _rule(),
+    ]
+    for stat in report.kernels:
+        lines.append(
+            f"{100 * stat.share:9.1f}  {stat.total_us:16.1f}  {stat.count:10d}  "
+            f"{stat.display}"
+        )
+    return "\n".join(lines)
+
+
+def format_memops(report: ProfileReport) -> str:
+    """CUDA Memory Operation Statistics (Figure 7's view)."""
+    mem = report.memops
+    return "\n".join([
+        "CUDA Memory Operation Statistics:",
+        _rule(),
+        f"  total memop time : {mem.total_us:12.1f} us over {mem.count} operations",
+        f"  total bytes      : {mem.total_bytes / 1e6:12.1f} MB",
+        f"  per-image timing : {mem.per_image_ns:12.0f} ns",
+        f"  peak device mem  : {report.peak_memory_bytes / 1024**3:12.3f} GiB "
+        f"of {report.device_capacity_bytes / 1024**3:.0f} GiB "
+        f"({100 * report.memory_utilization:.2f}%)",
+    ])
+
+
+def format_report(report: ProfileReport, top_api: int = 10) -> str:
+    """Full ``nsys --stats=true``-style report."""
+    header = (
+        f"Profiling session: {report.label} | batch {report.batch} | "
+        f"{report.iterations} iterations | mean latency "
+        f"{report.mean_latency_us / 1e3:.3f} ms"
+    )
+    return "\n\n".join([
+        header,
+        format_api_table(report, top=top_api),
+        format_kernel_table(report),
+        format_memops(report),
+    ])

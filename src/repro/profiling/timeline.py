@@ -1,0 +1,94 @@
+"""Execution-timeline views of a simulated run.
+
+Two consumers:
+
+* :func:`ascii_gantt` — a terminal Gantt chart of one inference's kernel
+  placement per CUDA stream, which makes IOS's stage/group overlap
+  visible at a glance (used by the scheduling example);
+* :func:`to_chrome_trace` — Chrome trace-event JSON (``chrome://tracing``
+  / Perfetto) of a full session, mirroring how nsys exports timelines.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from ..gpusim.runtime import Trace
+
+__all__ = ["ascii_gantt", "to_chrome_trace", "save_chrome_trace"]
+
+
+def ascii_gantt(trace: Trace, width: int = 72, max_label: int = 14) -> str:
+    """Render kernel execution per stream as a fixed-width Gantt chart.
+
+    Each row is one CUDA stream; ``#`` spans mark kernel execution, ``.``
+    marks idle time.  A per-kernel legend follows, in launch order.
+    """
+    if not trace.kernels:
+        return "(no kernels in trace)"
+    t0 = min(e.start_us for e in trace.kernels)
+    t1 = max(e.end_us for e in trace.kernels)
+    span = max(t1 - t0, 1e-9)
+    streams = sorted({e.stream for e in trace.kernels})
+
+    lines = [f"timeline: {span:.1f} us across {len(streams)} stream(s)"]
+    for stream in streams:
+        row = ["."] * width
+        for event in trace.kernels:
+            if event.stream != stream:
+                continue
+            lo = int((event.start_us - t0) / span * (width - 1))
+            hi = max(lo + 1, int((event.end_us - t0) / span * (width - 1)) + 1)
+            for i in range(lo, min(hi, width)):
+                row[i] = "#"
+        lines.append(f"stream {stream}: |{''.join(row)}|")
+    lines.append("kernels (launch order):")
+    for event in trace.kernels:
+        name = event.op_name[:max_label]
+        lines.append(f"  {name:<{max_label}} stream {event.stream} "
+                     f"[{event.start_us - t0:8.1f} .. {event.end_us - t0:8.1f}] us "
+                     f"({event.category})")
+    return "\n".join(lines)
+
+
+def to_chrome_trace(trace: Trace) -> dict:
+    """Convert a :class:`Trace` to the Chrome trace-event format.
+
+    Host API calls go on pid 0 ("CPU"), kernels on pid 1 ("GPU") with one
+    tid per stream, memory operations on pid 1 tid 999.  Timestamps are
+    microseconds, as the format expects.
+    """
+    events: list[dict] = [
+        {"name": "process_name", "ph": "M", "pid": 0,
+         "args": {"name": "CPU (CUDA API)"}},
+        {"name": "process_name", "ph": "M", "pid": 1,
+         "args": {"name": "GPU (simulated RTX A5500)"}},
+    ]
+    for api in trace.api:
+        events.append({
+            "name": api.name, "ph": "X", "pid": 0, "tid": 0,
+            "ts": api.start_us, "dur": api.duration_us, "cat": "cuda_api",
+        })
+    for kernel in trace.kernels:
+        events.append({
+            "name": kernel.kernel, "ph": "X", "pid": 1, "tid": kernel.stream,
+            "ts": kernel.start_us, "dur": kernel.duration_us,
+            "cat": f"kernel,{kernel.category}",
+            "args": {"op": kernel.op_name},
+        })
+    for op in trace.memcpy:
+        events.append({
+            "name": f"memcpy{op.kind}", "ph": "X", "pid": 1, "tid": 999,
+            "ts": op.start_us, "dur": op.duration_us, "cat": "memops",
+            "args": {"bytes": op.nbytes},
+        })
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def save_chrome_trace(trace: Trace, path: str | Path) -> Path:
+    """Write the Chrome trace JSON to ``path`` (open in chrome://tracing)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(to_chrome_trace(trace)))
+    return path

@@ -1,0 +1,68 @@
+"""Numerical gradient checking for the autograd substrate.
+
+Central finite differences against the analytic backward pass.  Used
+throughout the test suite; exported publicly so downstream users can
+verify custom ops.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from .tensor import Tensor
+
+__all__ = ["gradcheck", "numerical_gradient"]
+
+
+def numerical_gradient(
+    fn: Callable[..., Tensor],
+    inputs: Sequence[Tensor],
+    index: int,
+    eps: float = 1e-5,
+) -> np.ndarray:
+    """Central-difference gradient of ``sum(fn(*inputs))`` w.r.t. one input."""
+    target = inputs[index]
+    grad = np.zeros_like(target.data)
+    flat = target.data.reshape(-1)
+    gflat = grad.reshape(-1)
+    for i in range(flat.size):
+        orig = flat[i]
+        flat[i] = orig + eps
+        hi = float(fn(*inputs).data.sum())
+        flat[i] = orig - eps
+        lo = float(fn(*inputs).data.sum())
+        flat[i] = orig
+        gflat[i] = (hi - lo) / (2 * eps)
+    return grad
+
+
+def gradcheck(
+    fn: Callable[..., Tensor],
+    inputs: Sequence[Tensor],
+    eps: float = 1e-5,
+    atol: float = 1e-6,
+    rtol: float = 1e-4,
+) -> bool:
+    """Verify analytic gradients of ``fn`` against finite differences.
+
+    Raises ``AssertionError`` with a diagnostic message on mismatch, and
+    returns ``True`` on success so it can be used inside ``assert``.
+    """
+    for t in inputs:
+        t.zero_grad()
+    out = fn(*inputs)
+    out.sum().backward()
+    for idx, t in enumerate(inputs):
+        if not t.requires_grad:
+            continue
+        analytic = t.grad if t.grad is not None else np.zeros_like(t.data)
+        numeric = numerical_gradient(fn, inputs, idx, eps=eps)
+        if not np.allclose(analytic, numeric, atol=atol, rtol=rtol):
+            err = np.abs(analytic - numeric).max()
+            raise AssertionError(
+                f"gradient mismatch on input {idx}: max abs err {err:.3e}\n"
+                f"analytic:\n{analytic}\nnumeric:\n{numeric}"
+            )
+    return True

@@ -1,0 +1,46 @@
+"""Checkpoint save/load for Module state dicts (npz-backed)."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from .modules import Module
+
+__all__ = ["save_checkpoint", "load_checkpoint", "load_state"]
+
+_META_KEY = "__repro_meta__"
+
+
+def save_checkpoint(module: Module, path: str | Path, metadata: dict | None = None) -> Path:
+    """Serialize a module's parameters (and optional JSON metadata) to .npz."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    state = module.state_dict()
+    payload = dict(state)
+    meta = dict(metadata or {})
+    payload[_META_KEY] = np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8)
+    np.savez_compressed(path, **payload)
+    return path
+
+
+def load_state(path: str | Path) -> tuple[dict, dict]:
+    """Load (state_dict, metadata) from a checkpoint file."""
+    with np.load(Path(path)) as data:
+        meta = {}
+        state = {}
+        for key in data.files:
+            if key == _META_KEY:
+                meta = json.loads(bytes(data[key].tobytes()).decode())
+            else:
+                state[key] = data[key]
+    return state, meta
+
+
+def load_checkpoint(module: Module, path: str | Path) -> dict:
+    """Restore a module's parameters in place; returns the metadata dict."""
+    state, meta = load_state(path)
+    module.load_state_dict(state)
+    return meta

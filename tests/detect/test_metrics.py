@@ -1,0 +1,157 @@
+"""IoU, precision/recall, and Equation-1 AP."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.detect import (
+    average_precision,
+    iou_cxcywh,
+    precision_recall,
+    score_detections,
+)
+
+settings.register_profile("detect", deadline=None, max_examples=40)
+settings.load_profile("detect")
+
+
+def box(cx, cy, w, h):
+    return np.array([cx, cy, w, h])
+
+
+class TestIoU:
+    def test_identical_boxes(self):
+        b = box(0.5, 0.5, 0.2, 0.2)
+        assert iou_cxcywh(b, b) == pytest.approx(1.0)
+
+    def test_disjoint_boxes(self):
+        assert iou_cxcywh(box(0.2, 0.2, 0.1, 0.1), box(0.8, 0.8, 0.1, 0.1)) == 0.0
+
+    def test_half_overlap(self):
+        a = box(0.0, 0.0, 2.0, 2.0)
+        b = box(1.0, 0.0, 2.0, 2.0)  # shifted by half width
+        assert iou_cxcywh(a, b) == pytest.approx(2.0 / 6.0)
+
+    def test_contained_box(self):
+        outer = box(0.5, 0.5, 0.4, 0.4)
+        inner = box(0.5, 0.5, 0.2, 0.2)
+        assert iou_cxcywh(outer, inner) == pytest.approx(0.25)
+
+    def test_zero_area_box(self):
+        assert iou_cxcywh(box(0.5, 0.5, 0.0, 0.0), box(0.5, 0.5, 0.2, 0.2)) == 0.0
+
+    def test_batch_broadcast(self):
+        a = np.stack([box(0.5, 0.5, 0.2, 0.2)] * 3)
+        assert iou_cxcywh(a, a).shape == (3,)
+
+    @given(st.floats(0.1, 0.9), st.floats(0.1, 0.9),
+           st.floats(0.01, 0.5), st.floats(0.01, 0.5),
+           st.floats(0.1, 0.9), st.floats(0.1, 0.9),
+           st.floats(0.01, 0.5), st.floats(0.01, 0.5))
+    def test_iou_bounded_and_symmetric(self, ax, ay, aw, ah, bx, by, bw, bh):
+        a, b = box(ax, ay, aw, ah), box(bx, by, bw, bh)
+        v = iou_cxcywh(a, b)
+        assert 0.0 <= v <= 1.0 + 1e-12
+        assert v == pytest.approx(iou_cxcywh(b, a))
+
+
+class TestPrecisionRecall:
+    def test_perfect_ranking(self):
+        conf = np.array([0.9, 0.8, 0.2, 0.1])
+        tp = np.array([True, True, False, False])
+        precision, recall = precision_recall(conf, tp, num_ground_truth=2)
+        assert np.allclose(precision, [1, 1, 2 / 3, 0.5])
+        assert np.allclose(recall, [0.5, 1, 1, 1])
+
+    def test_worst_ranking(self):
+        conf = np.array([0.9, 0.1])
+        tp = np.array([False, True])
+        precision, recall = precision_recall(conf, tp, 1)
+        assert np.allclose(precision, [0, 0.5])
+
+    def test_zero_ground_truth(self):
+        precision, recall = precision_recall(np.array([0.5]), np.array([False]), 0)
+        assert np.allclose(recall, [0.0])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            precision_recall(np.zeros(2), np.zeros(3, bool), 1)
+        with pytest.raises(ValueError):
+            precision_recall(np.zeros(2), np.zeros(2, bool), -1)
+
+
+class TestAveragePrecision:
+    def test_perfect_detector_ap_one(self):
+        precision = np.array([1.0, 1.0])
+        recall = np.array([0.5, 1.0])
+        assert average_precision(precision, recall) == pytest.approx(1.0)
+
+    def test_equation1_literal(self):
+        """AP = sum (R_i - R_{i-1}) * P_i, exactly as printed."""
+        precision = np.array([1.0, 0.5, 2 / 3])
+        recall = np.array([0.5, 0.5, 1.0])
+        expected = (0.5 - 0) * 1.0 + (0.5 - 0.5) * 0.5 + (1.0 - 0.5) * (2 / 3)
+        assert average_precision(precision, recall) == pytest.approx(expected)
+
+    def test_empty(self):
+        assert average_precision(np.array([]), np.array([])) == 0.0
+
+    def test_mismatched_shapes(self):
+        with pytest.raises(ValueError):
+            average_precision(np.zeros(2), np.zeros(3))
+
+    @given(st.integers(1, 30), st.integers(0, 2**31 - 1))
+    def test_ap_in_unit_interval(self, n, seed):
+        rng = np.random.default_rng(seed)
+        conf = rng.random(n)
+        tp = rng.random(n) < 0.5
+        gt = max(1, int(tp.sum()))
+        precision, recall = precision_recall(conf, tp, gt)
+        assert 0.0 <= average_precision(precision, recall) <= 1.0 + 1e-9
+
+
+class TestScoreDetections:
+    def _perfect(self, n=6):
+        labels = np.array([1, 1, 1, 0, 0, 0])[:n]
+        gt = np.zeros((n, 4))
+        gt[labels == 1] = box(0.5, 0.5, 0.2, 0.2)
+        conf = np.where(labels == 1, 0.9, 0.1).astype(float)
+        return conf, gt.copy(), labels, gt
+
+    def test_perfect_detections(self):
+        conf, pred, labels, gt = self._perfect()
+        scores = score_detections(conf, pred, labels, gt)
+        assert scores.ap == pytest.approx(1.0)
+        assert scores.accuracy == 1.0
+        assert scores.mean_iou_tp == pytest.approx(1.0)
+
+    def test_confident_misses_hurt_ap(self):
+        conf, pred, labels, gt = self._perfect()
+        conf[3] = 0.99  # a confident false positive ranks first
+        scores = score_detections(conf, pred, labels, gt)
+        assert scores.ap < 1.0
+
+    def test_bad_boxes_kill_tp(self):
+        conf, pred, labels, gt = self._perfect()
+        pred[labels == 1] = box(0.1, 0.1, 0.05, 0.05)
+        scores = score_detections(conf, pred, labels, gt)
+        assert scores.ap == 0.0
+
+    def test_iou_threshold_monotonicity(self):
+        """AP never increases as the IoU threshold tightens."""
+        rng = np.random.default_rng(0)
+        n = 40
+        labels = (rng.random(n) < 0.5).astype(int)
+        gt = np.zeros((n, 4))
+        gt[labels == 1] = rng.uniform(0.3, 0.7, (int(labels.sum()), 4))
+        pred = gt + rng.normal(0, 0.05, gt.shape)
+        conf = rng.random(n)
+        aps = [score_detections(conf, pred, labels, gt, iou_threshold=t).ap
+               for t in (0.1, 0.3, 0.5, 0.7)]
+        assert all(a >= b - 1e-12 for a, b in zip(aps, aps[1:]))
+
+    def test_alignment_validation(self):
+        with pytest.raises(ValueError):
+            score_detections(np.zeros(2), np.zeros((3, 4)), np.zeros(2),
+                             np.zeros((2, 4)))

@@ -1,0 +1,117 @@
+"""Faster-R-CNN-style baseline: components and learning behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.detect import FasterRCNNLite, RCNNConfig, evaluate_rcnn, train_rcnn
+from repro.detect.rcnn import _anchor_targets
+from repro.tensor import Tensor
+from tests.detect.test_model_train import synthetic_dataset
+
+SMALL = RCNNConfig(backbone_channels=(16, 32), proposal_count=3, anchor_size=0.2)
+
+
+@pytest.fixture(scope="module")
+def model():
+    return FasterRCNNLite(SMALL, seed=0)
+
+
+@pytest.fixture(scope="module")
+def data():
+    return synthetic_dataset(n=48, size=32, seed=0).split(0.75, seed=0)
+
+
+class TestComponents:
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            RCNNConfig(backbone_channels=())
+        with pytest.raises(ValueError):
+            RCNNConfig(anchor_size=1.5)
+        with pytest.raises(ValueError):
+            RCNNConfig(proposal_count=0)
+
+    def test_objectness_shape(self, model):
+        x = Tensor(np.random.default_rng(0).random((2, 4, 32, 32)))
+        obj = model.objectness(model.features(x))
+        assert obj.shape == (2, 1, 8, 8)
+
+    def test_propose_ranks_by_objectness(self, model):
+        obj = np.zeros((1, 1, 8, 8))
+        obj[0, 0, 3, 5] = 9.0
+        obj[0, 0, 6, 1] = 5.0
+        proposals = model.propose(obj)
+        assert proposals.shape == (1, 3, 4)
+        cx, cy = proposals[0, 0, 0], proposals[0, 0, 1]
+        assert cx == pytest.approx((5 + 0.5) / 8)
+        assert cy == pytest.approx((3 + 0.5) / 8)
+
+    def test_propose_fixed_anchor_size(self, model):
+        proposals = model.propose(np.zeros((2, 1, 8, 8)))
+        assert np.allclose(proposals[..., 2:], SMALL.anchor_size)
+
+    def test_roi_features_fixed_length(self, model):
+        x = Tensor(np.random.default_rng(1).random((2, 4, 32, 32)))
+        feature = model.features(x)
+        boxes = np.tile([0.5, 0.5, 0.2, 0.2], (2, 3, 1))
+        pooled = model.roi_features(feature, boxes)
+        assert pooled.shape == (6, 32 * SMALL.roi_pool**2)
+
+    def test_refined_boxes_near_proposals(self, model):
+        """Delta decode keeps boxes near the proposal (bounded shift)."""
+        x = Tensor(np.random.default_rng(2).random((1, 4, 32, 32)))
+        feature = model.features(x)
+        boxes = np.array([[[0.5, 0.5, 0.2, 0.2]]])
+        _, refined = model.classify_rois(feature, boxes)
+        shift = SMALL.anchor_size / 2
+        assert abs(refined.data[0, 0] - 0.5) <= shift + 1e-9
+        assert abs(refined.data[0, 1] - 0.5) <= shift + 1e-9
+
+    def test_forward_full_pipeline(self, model):
+        x = Tensor(np.random.default_rng(3).random((2, 4, 32, 32)))
+        obj, proposals, cls_logits, refined = model(x)
+        assert proposals.shape == (2, 3, 4)
+        assert cls_logits.shape == (6, 2)
+        assert refined.shape == (6, 4)
+
+
+class TestAnchorTargets:
+    def test_positive_cells_near_gt(self):
+        labels = np.array([1])
+        gt = np.array([[0.5, 0.5, 0.2, 0.2]])
+        targets = _anchor_targets((1, 1, 8, 8), labels, gt, anchor=0.2)
+        assert targets[0, 0, 4, 4] == 1 or targets[0, 0, 3, 3] == 1
+        assert targets[0, 0, 0, 0] == 0
+
+    def test_negative_image_all_zero(self):
+        targets = _anchor_targets((1, 1, 8, 8), np.array([0]),
+                                  np.zeros((1, 4)), anchor=0.2)
+        assert targets.sum() == 0
+
+
+class TestLearning:
+    def test_baseline_learns_toy_task(self, data):
+        train, test = data
+        model = train_rcnn(train, SMALL, epochs=8, batch_size=8,
+                           learning_rate=0.01, seed=0)
+        scores = evaluate_rcnn(model, test, iou_threshold=0.1)
+        assert scores.accuracy > 0.8
+        assert scores.ap > 0.4
+
+    def test_pos_weight_validation(self):
+        from repro.tensor import Tensor, losses
+
+        with pytest.raises(ValueError):
+            losses.binary_cross_entropy_with_logits(
+                Tensor(np.zeros(3)), np.zeros(3), pos_weight=-1.0
+            )
+
+    def test_pos_weight_changes_loss(self):
+        from repro.tensor import Tensor, losses
+
+        logits = Tensor(np.array([2.0, -2.0]))
+        targets = np.array([1.0, 0.0])
+        plain = losses.binary_cross_entropy_with_logits(logits, targets)
+        weighted = losses.binary_cross_entropy_with_logits(
+            logits, targets, pos_weight=10.0
+        )
+        assert weighted.item() > plain.item()

@@ -1,0 +1,117 @@
+"""Full-scene scanning detection and NMS."""
+
+import numpy as np
+import pytest
+
+from repro.detect import (
+    SceneDetection,
+    evaluate_scene_detections,
+    non_max_suppression,
+    scan_scene,
+)
+from repro.geo import Crossing, WatershedConfig, build_scene
+
+
+def det(r, c, conf, size=12.0):
+    return SceneDetection(row=r, col=c, height=size, width=size, confidence=conf)
+
+
+class TestNMS:
+    def test_keeps_most_confident(self):
+        kept = non_max_suppression([det(10, 10, 0.6), det(12, 12, 0.9)], radius=10)
+        assert len(kept) == 1 and kept[0].confidence == 0.9
+
+    def test_distant_detections_survive(self):
+        kept = non_max_suppression([det(10, 10, 0.6), det(80, 80, 0.9)], radius=10)
+        assert len(kept) == 2
+
+    def test_empty_input(self):
+        assert non_max_suppression([], radius=10) == []
+
+    def test_invalid_radius(self):
+        with pytest.raises(ValueError):
+            non_max_suppression([], radius=0)
+
+    def test_chain_suppression_is_greedy(self):
+        """A mid-confidence detection suppressed by the best does not
+        itself suppress a far third."""
+        kept = non_max_suppression(
+            [det(0, 0, 0.9), det(0, 9, 0.8), det(0, 18, 0.7)], radius=10
+        )
+        assert [k.confidence for k in kept] == [0.9, 0.7]
+
+
+class TestEvaluate:
+    def gts(self):
+        return [Crossing(20, 20, 10, 10), Crossing(60, 60, 10, 10)]
+
+    def test_perfect_matching(self):
+        scores = evaluate_scene_detections(
+            [det(20, 20, 0.9), det(61, 59, 0.8)], self.gts()
+        )
+        assert scores.true_positives == 2
+        assert scores.precision == 1.0 and scores.recall == 1.0
+        assert scores.f1 == 1.0
+
+    def test_misses_counted(self):
+        scores = evaluate_scene_detections([det(20, 20, 0.9)], self.gts())
+        assert scores.false_negatives == 1
+        assert scores.recall == 0.5
+
+    def test_false_positive_counted(self):
+        scores = evaluate_scene_detections(
+            [det(20, 20, 0.9), det(100, 100, 0.9)], self.gts()
+        )
+        assert scores.false_positives == 1
+
+    def test_one_to_one_matching(self):
+        """Two detections cannot both claim the same ground truth."""
+        scores = evaluate_scene_detections(
+            [det(20, 20, 0.9), det(21, 21, 0.8)], self.gts()
+        )
+        assert scores.true_positives == 1
+        assert scores.false_positives == 1
+
+    def test_match_radius_respected(self):
+        scores = evaluate_scene_detections([det(40, 40, 0.9)], self.gts(),
+                                           match_radius=5.0)
+        assert scores.true_positives == 0
+
+    def test_empty_cases(self):
+        scores = evaluate_scene_detections([], self.gts())
+        assert scores.recall == 0.0 and scores.precision == 0.0
+        assert np.isnan(scores.mean_center_error)
+
+
+class TestScanScene:
+    @pytest.fixture(scope="class")
+    def scene(self):
+        return build_scene(WatershedConfig(size=192, road_spacing=64,
+                                           stream_threshold=600, seed=5))
+
+    def test_untrained_model_runs_and_respects_threshold(self, scene):
+        from repro.arch import ConvSpec, PoolSpec, SPPNetConfig
+        from repro.detect import SPPNetDetector
+
+        arch = SPPNetConfig(
+            convs=(ConvSpec(8, 3, 1), ConvSpec(16, 3, 1)),
+            pools=(PoolSpec(2, 2), PoolSpec(2, 2)),
+            spp_levels=(2, 1), fc_sizes=(32,), name="scan-test",
+        )
+        model = SPPNetDetector(arch, seed=0)
+        detections = scan_scene(model, scene, window=64, stride=48,
+                                confidence_threshold=0.99)
+        for d in detections:
+            assert d.confidence >= 0.99
+            assert 0 <= d.row < scene.size and 0 <= d.col < scene.size
+
+    def test_window_validation(self, scene):
+        from repro.arch import ConvSpec, PoolSpec, SPPNetConfig
+        from repro.detect import SPPNetDetector
+
+        arch = SPPNetConfig(
+            convs=(ConvSpec(8, 3, 1),), pools=(PoolSpec(2, 2),),
+            spp_levels=(1,), fc_sizes=(16,), name="tiny",
+        )
+        with pytest.raises(ValueError):
+            scan_scene(SPPNetDetector(arch), scene, window=1000)

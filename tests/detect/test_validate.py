@@ -1,0 +1,46 @@
+"""K-fold cross-validation utilities."""
+
+import numpy as np
+import pytest
+
+from repro.detect import TrainConfig, kfold_evaluate, kfold_indices
+from tests.detect.test_model_train import TINY, synthetic_dataset
+
+
+class TestKFoldIndices:
+    def test_covers_everything_disjointly(self):
+        for train_idx, test_idx in kfold_indices(20, 4, seed=1):
+            assert len(np.intersect1d(train_idx, test_idx)) == 0
+            assert len(train_idx) + len(test_idx) == 20
+
+    def test_every_sample_tested_once(self):
+        tested = np.concatenate([t for _, t in kfold_indices(17, 5, seed=0)])
+        assert sorted(tested.tolist()) == list(range(17))
+
+    def test_deterministic(self):
+        a = kfold_indices(10, 3, seed=7)
+        b = kfold_indices(10, 3, seed=7)
+        for (ta, sa), (tb, sb) in zip(a, b):
+            assert np.array_equal(ta, tb) and np.array_equal(sa, sb)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            kfold_indices(5, 1)
+        with pytest.raises(ValueError):
+            kfold_indices(3, 5)
+
+
+class TestKFoldEvaluate:
+    def test_runs_all_folds_and_aggregates(self):
+        dataset = synthetic_dataset(n=36, size=24, seed=1)
+        result = kfold_evaluate(
+            TINY, dataset, k=3,
+            train_config=TrainConfig(epochs=2, batch_size=12, seed=0),
+            iou_threshold=0.1,
+        )
+        assert len(result.folds) == 3
+        assert 0.0 <= result.mean_ap <= 1.0
+        assert result.std_ap >= 0.0
+        assert "3-fold" in result.summary()
+        for fold in result.folds:
+            assert fold.train_size + fold.test_size == 36

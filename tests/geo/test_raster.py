@@ -1,0 +1,84 @@
+"""Georeferencing, raster windows, and GeoJSON export."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.geo import Crossing, GeoRaster, GeoTransform, crossings_to_geojson
+from repro.detect import SceneDetection
+
+
+class TestGeoTransform:
+    def test_identity_like_roundtrip(self):
+        t = GeoTransform(x0=500000.0, dx=1.0, y0=4500000.0, dy=-1.0)
+        x, y = t.pixel_to_world(10, 20)
+        assert (x, y) == (500020.0, 4499990.0)
+        r, c = t.world_to_pixel(x, y)
+        assert (r, c) == (10.0, 20.0)
+
+    def test_nonunit_pixels(self):
+        t = GeoTransform(dx=2.5, dy=-2.5)
+        assert t.pixel_to_world(4, 4) == (10.0, -10.0)
+
+    def test_zero_pixel_size_rejected(self):
+        with pytest.raises(ValueError):
+            GeoTransform(dx=0.0)
+
+
+class TestGeoRaster:
+    def make(self):
+        data = np.arange(100.0).reshape(10, 10)
+        return GeoRaster(data, GeoTransform(x0=100.0, dx=1.0, y0=200.0, dy=-1.0))
+
+    def test_dimension_validation(self):
+        with pytest.raises(ValueError):
+            GeoRaster(np.zeros(5))
+
+    def test_bounds(self):
+        r = self.make()
+        assert r.bounds() == (100.0, 190.0, 110.0, 200.0)
+
+    def test_window_shifts_transform(self):
+        r = self.make()
+        w = r.window(2, 3, 4, 5)
+        assert w.shape == (4, 5)
+        assert w.transform.pixel_to_world(0, 0) == r.transform.pixel_to_world(2, 3)
+        assert np.allclose(w.data, r.data[2:6, 3:8])
+
+    def test_window_out_of_bounds(self):
+        with pytest.raises(IndexError):
+            self.make().window(8, 8, 5, 5)
+
+    def test_multiband_window(self):
+        r = GeoRaster(np.zeros((4, 10, 10)))
+        assert r.window(0, 0, 5, 5).shape == (4, 5, 5)
+
+    def test_save_load_roundtrip(self, tmp_path):
+        r = self.make()
+        path = r.save(tmp_path / "dem.npz")
+        loaded = GeoRaster.load(path)
+        assert np.allclose(loaded.data, r.data)
+        assert loaded.transform == r.transform
+        assert loaded.crs == r.crs
+
+
+class TestGeoJSON:
+    def test_ground_truth_export(self):
+        crossings = [Crossing(10, 20, 8, 8), Crossing(30, 40, 8, 8)]
+        doc = json.loads(crossings_to_geojson(crossings))
+        assert doc["type"] == "FeatureCollection"
+        assert len(doc["features"]) == 2
+        assert doc["features"][0]["geometry"]["coordinates"] == [20.0, -10.0]
+        assert "confidence" not in doc["features"][0]["properties"]
+
+    def test_detection_export_includes_confidence(self):
+        dets = [SceneDetection(row=5, col=6, height=10, width=10, confidence=0.9)]
+        doc = json.loads(crossings_to_geojson(dets))
+        assert doc["features"][0]["properties"]["confidence"] == 0.9
+
+    def test_custom_transform(self):
+        crossings = [Crossing(1, 1, 4, 4)]
+        t = GeoTransform(x0=1000.0, dx=2.0, y0=2000.0, dy=-2.0)
+        doc = json.loads(crossings_to_geojson(crossings, transform=t))
+        assert doc["features"][0]["geometry"]["coordinates"] == [1002.0, 1998.0]

@@ -1,0 +1,88 @@
+"""Device spec and roofline kernel cost model."""
+
+import pytest
+
+from repro.arch import TABLE1_MODELS
+from repro.graph import build_sppnet_graph
+from repro.gpusim import RTX_A5500, DeviceSpec, KernelCostModel, categorize, kernel_name
+from repro.graph.ir import OpType
+
+
+class TestDeviceSpec:
+    def test_a5500_headline_numbers(self):
+        assert RTX_A5500.cuda_cores == 10240
+        assert RTX_A5500.dram_capacity_gb == 24.0
+        assert 30 < RTX_A5500.peak_fp32_tflops < 40
+
+    def test_derived_units(self):
+        assert RTX_A5500.dram_bandwidth == RTX_A5500.dram_bandwidth_gbs * 1e9
+        assert RTX_A5500.dram_capacity_bytes == 24 * 1024**3
+
+    def test_sync_constants_agree(self):
+        """plan_stage uses stage_sync_us; the executor emits
+        cudaDeviceSynchronize — the DP is only optimal if they match."""
+        assert RTX_A5500.stage_sync_us == RTX_A5500.device_sync_base_us
+
+    def test_custom_device(self):
+        small = DeviceSpec(name="toy", sm_count=4, dram_bandwidth_gbs=100.0)
+        assert small.cuda_cores == 4 * 128
+        assert small.max_concurrent_blocks == 4 * small.concurrent_blocks_per_sm
+
+
+class TestCategorize:
+    def test_table3_categories(self):
+        assert categorize(OpType.CONV2D) == "conv"
+        assert categorize(OpType.LINEAR) == "matmul"
+        assert categorize(OpType.MAXPOOL) == "pooling"
+        assert categorize(OpType.ADAPTIVE_MAXPOOL) == "pooling"
+        assert categorize(OpType.RELU) == "elementwise"
+
+    def test_kernel_names_unique_per_op(self):
+        g = build_sppnet_graph(TABLE1_MODELS["Original SPP-Net"])
+        names = [kernel_name(op) for op in g.compute_nodes()]
+        assert len(set(names)) == len(names)
+
+
+class TestKernelCostModel:
+    @pytest.fixture()
+    def model(self):
+        return KernelCostModel(RTX_A5500)
+
+    @pytest.fixture()
+    def graph(self):
+        return build_sppnet_graph(TABLE1_MODELS["SPP-Net #2"])
+
+    def test_solo_at_least_work(self, model, graph):
+        for op in graph.compute_nodes():
+            spec = model.spec(graph, op, batch=1)
+            assert spec.solo_us >= spec.work_us - 1e-12
+
+    def test_minimum_kernel_duration(self, model, graph):
+        spec = model.spec(graph, graph["spp1"], batch=1)
+        assert spec.solo_us >= KernelCostModel.MIN_KERNEL_US
+
+    def test_fc_memory_bound_at_batch1(self, model, graph):
+        """Weight streaming dominates the batch-1 GEMM — Table 3's driver."""
+        spec = model.spec(graph, graph["fc1"], batch=1)
+        weight_time = 1e6 * spec.dram_bytes / RTX_A5500.dram_bandwidth
+        assert spec.solo_us == pytest.approx(
+            weight_time / RTX_A5500.memory_efficiency["matmul"], rel=0.05
+        )
+
+    def test_conv_cost_grows_linearly_with_batch(self, model, graph):
+        s1 = model.spec(graph, graph["conv2"], batch=1)
+        s8 = model.spec(graph, graph["conv2"], batch=8)
+        assert s8.work_us == pytest.approx(8 * s1.work_us, rel=0.05)
+
+    def test_fc_cost_sublinear_in_batch(self, model, graph):
+        s1 = model.spec(graph, graph["fc1"], batch=1)
+        s64 = model.spec(graph, graph["fc1"], batch=64)
+        assert s64.solo_us < 16 * s1.solo_us
+
+    def test_occupancy_monotone_in_threads(self, model):
+        assert model.occupancy(100) <= model.occupancy(100_000)
+        assert model.occupancy(10**9) == 1.0
+
+    def test_specs_covers_all_compute_nodes(self, model, graph):
+        specs = model.specs(graph, 4)
+        assert set(specs) == {op.name for op in graph.compute_nodes()}

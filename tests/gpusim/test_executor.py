@@ -1,0 +1,152 @@
+"""Graph executor: schedule validation, timing model, memory accounting."""
+
+import pytest
+
+from repro.arch import TABLE1_MODELS
+from repro.graph import build_sppnet_graph
+from repro.gpusim import (
+    GraphExecutor,
+    KernelCostModel,
+    RTX_A5500,
+    ScheduleError,
+    sequential_stages,
+    validate_stages,
+)
+from repro.gpusim.executor import plan_stage
+
+
+@pytest.fixture()
+def graph():
+    return build_sppnet_graph(TABLE1_MODELS["Original SPP-Net"])
+
+
+class TestValidateStages:
+    def test_sequential_valid(self, graph):
+        validate_stages(graph, sequential_stages(graph))
+
+    def test_missing_op_rejected(self, graph):
+        stages = sequential_stages(graph)[:-1]
+        with pytest.raises(ScheduleError, match="does not cover"):
+            validate_stages(graph, stages)
+
+    def test_duplicate_op_rejected(self, graph):
+        stages = sequential_stages(graph)
+        stages.append(stages[0])
+        with pytest.raises(ScheduleError, match="twice"):
+            validate_stages(graph, stages)
+
+    def test_dependency_order_enforced(self, graph):
+        stages = sequential_stages(graph)
+        stages[0], stages[1] = stages[1], stages[0]
+        with pytest.raises(ScheduleError, match="depends on"):
+            validate_stages(graph, stages)
+
+    def test_cross_group_dependency_rejected(self, graph):
+        # conv1 and relu1 are dependent: cannot sit in sibling groups.
+        stages = [[["conv1"], ["relu1"]]] + sequential_stages(graph)[2:]
+        with pytest.raises(ScheduleError):
+            validate_stages(graph, stages)
+
+    def test_same_group_dependency_allowed(self, graph):
+        stages = [[["conv1", "relu1"]]] + sequential_stages(graph)[2:]
+        validate_stages(graph, stages)
+
+    def test_unknown_op_rejected(self, graph):
+        with pytest.raises(ScheduleError, match="unknown"):
+            validate_stages(graph, [[["nonsense"]]])
+
+
+class TestPlanStage:
+    def make_specs(self, graph, batch=1):
+        return KernelCostModel(RTX_A5500).specs(graph, batch)
+
+    def test_single_group_span_is_sum(self, graph):
+        specs = self.make_specs(graph)
+        plan = plan_stage([["spp4", "spp2", "spp1"]], specs, RTX_A5500)
+        total = sum(specs[n].solo_us for n in ("spp4", "spp2", "spp1"))
+        assert plan.span_us >= total
+
+    def test_parallel_groups_overlap(self, graph):
+        specs = self.make_specs(graph)
+        serial = plan_stage([["spp4", "spp2", "spp1"]], specs, RTX_A5500)
+        parallel = plan_stage([["spp4"], ["spp2"], ["spp1"]], specs, RTX_A5500)
+        assert parallel.span_us <= serial.span_us
+
+    def test_work_floor_enforced(self, graph):
+        specs = self.make_specs(graph, batch=64)
+        plan = plan_stage([["spp4"], ["spp2"], ["spp1"]], specs, RTX_A5500)
+        work = sum(specs[n].work_us for n in ("spp4", "spp2", "spp1"))
+        assert plan.span_us >= work - 1e-9
+
+    def test_empty_stage_rejected(self, graph):
+        with pytest.raises(ValueError):
+            plan_stage([], self.make_specs(graph), RTX_A5500)
+
+    def test_latency_includes_barrier(self, graph):
+        specs = self.make_specs(graph)
+        plan = plan_stage([["conv1"]], specs, RTX_A5500)
+        assert plan.latency_us == pytest.approx(
+            max(plan.launch_us, plan.span_us) + RTX_A5500.stage_sync_us
+        )
+
+
+class TestExecutorRuns:
+    def test_latency_positive_and_stages_counted(self, graph):
+        ex = GraphExecutor(graph)
+        res = ex.run(sequential_stages(graph), batch=1)
+        assert res.latency_us > 0
+        assert res.num_stages == len(graph.compute_nodes())
+        assert len(res.stage_latencies_us) == res.num_stages
+
+    def test_latency_scales_with_batch(self, graph):
+        ex = GraphExecutor(graph)
+        l1 = ex.run(sequential_stages(graph), 1).latency_us
+        l32 = ex.run(sequential_stages(graph), 32).latency_us
+        assert l32 > l1
+
+    def test_efficiency_improves_with_batch(self, graph):
+        ex = GraphExecutor(graph)
+        e1 = ex.run(sequential_stages(graph), 1).efficiency_us_per_image
+        e32 = ex.run(sequential_stages(graph), 32).efficiency_us_per_image
+        assert e32 < e1
+
+    def test_total_matches_stage_sum_plus_overheads(self, graph):
+        ex = GraphExecutor(graph)
+        res = ex.run(sequential_stages(graph), 4)
+        assert sum(res.stage_latencies_us) <= res.latency_us
+
+    def test_memory_far_below_capacity(self, graph):
+        """The Figure 7 claim: inference memory << 24 GB."""
+        ex = GraphExecutor(graph)
+        res = ex.run(sequential_stages(graph), 64)
+        assert res.peak_memory_bytes < 0.05 * RTX_A5500.dram_capacity_bytes
+
+    def test_trace_window_only_contains_run(self, graph):
+        ex = GraphExecutor(graph)
+        ex.run(sequential_stages(graph), 1)
+        res2 = ex.run(sequential_stages(graph), 1)
+        assert all(e.name != "cuLibraryLoadData" for e in res2.trace.api)
+        assert len(res2.trace.kernels) == len(graph.compute_nodes())
+
+    def test_kernel_count_independent_of_batch(self, graph):
+        ex = GraphExecutor(graph)
+        k1 = len(ex.run(sequential_stages(graph), 1).trace.kernels)
+        k8 = len(ex.run(sequential_stages(graph), 8).trace.kernels)
+        assert k1 == k8
+
+    def test_invalid_batch_rejected(self, graph):
+        with pytest.raises(ValueError):
+            GraphExecutor(graph).run(sequential_stages(graph), 0)
+
+    def test_measure_median(self, graph):
+        ex = GraphExecutor(graph)
+        stages = sequential_stages(graph)
+        med = ex.measure(stages, 1, repeats=3)
+        assert med == pytest.approx(ex.run(stages, 1).latency_us, rel=0.01)
+
+    def test_runs_leave_memory_balanced(self, graph):
+        ex = GraphExecutor(graph)
+        ex.run(sequential_stages(graph), 2)
+        used_after_first = ex.runtime.memory.used
+        ex.run(sequential_stages(graph), 2)
+        assert ex.runtime.memory.used == used_after_first  # only weights persist

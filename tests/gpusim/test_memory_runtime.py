@@ -1,0 +1,139 @@
+"""Device memory allocator and the traced CUDA runtime."""
+
+import pytest
+
+from repro.gpusim import (
+    CudaRuntime,
+    DeviceMemory,
+    DeviceSpec,
+    KernelSpec,
+    OutOfMemoryError,
+)
+
+
+def spec(name="k", category="conv", solo=10.0, work=5.0):
+    return KernelSpec(op_name=name, category=category, solo_us=solo,
+                      work_us=work, blocks=10, flops=1e6, dram_bytes=1e5)
+
+
+class TestDeviceMemory:
+    def test_alloc_free_cycle(self):
+        mem = DeviceMemory(capacity=1000)
+        a = mem.alloc(400, time_us=0.0, tag="x")
+        assert mem.used == 400 and mem.peak == 400
+        mem.free(a, time_us=1.0)
+        assert mem.used == 0 and mem.peak == 400
+
+    def test_oom(self):
+        mem = DeviceMemory(capacity=100)
+        with pytest.raises(OutOfMemoryError):
+            mem.alloc(101, 0.0)
+
+    def test_double_free_raises(self):
+        mem = DeviceMemory(capacity=100)
+        a = mem.alloc(10, 0.0)
+        mem.free(a, 0.0)
+        with pytest.raises(KeyError):
+            mem.free(a, 0.0)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            DeviceMemory(capacity=10).alloc(-1, 0.0)
+
+    def test_timeline_records_every_event(self):
+        mem = DeviceMemory(capacity=100)
+        a = mem.alloc(10, 1.0)
+        b = mem.alloc(20, 2.0)
+        mem.free(a, 3.0)
+        assert [u for _, u in mem.timeline] == [10, 30, 20]
+        assert len(mem.live_allocations()) == 1
+        assert mem.utilization == pytest.approx(0.2)
+
+
+class TestRuntime:
+    def test_clock_advances_with_api_calls(self):
+        rt = CudaRuntime(DeviceSpec())
+        t0 = rt.host_time
+        rt.malloc(100)
+        assert rt.host_time == t0 + rt.device.malloc_us
+
+    def test_init_session_idempotent(self):
+        rt = CudaRuntime()
+        rt.init_session()
+        n = len(rt.trace.api)
+        rt.init_session()
+        assert len(rt.trace.api) == n
+
+    def test_library_load_total_calibrated(self):
+        rt = CudaRuntime()
+        rt.init_session()
+        totals = rt.trace.api_time_by_name()
+        assert totals["cuLibraryLoadData"] == pytest.approx(
+            rt.device.library_load_total_us, rel=1e-6
+        )
+
+    def test_kernel_starts_after_launch_and_stream(self):
+        rt = CudaRuntime()
+        e1 = rt.launch_kernel(spec("a"), duration_us=50.0, stream=0)
+        e2 = rt.launch_kernel(spec("b"), duration_us=10.0, stream=0)
+        assert e2.start_us >= e1.end_us  # same stream serializes
+
+    def test_parallel_streams_overlap(self):
+        rt = CudaRuntime()
+        s1 = rt.stream_create()
+        e1 = rt.launch_kernel(spec("a"), duration_us=100.0, stream=0)
+        e2 = rt.launch_kernel(spec("b"), duration_us=100.0, stream=s1)
+        assert e2.start_us < e1.end_us  # overlapping execution
+
+    def test_unknown_stream_rejected(self):
+        rt = CudaRuntime()
+        with pytest.raises(ValueError):
+            rt.launch_kernel(spec(), 1.0, stream=99)
+
+    def test_device_synchronize_waits_for_work(self):
+        rt = CudaRuntime()
+        kernel = rt.launch_kernel(spec(), duration_us=500.0)
+        t_before = rt.host_time
+        wait = rt.device_synchronize()
+        assert wait == pytest.approx(kernel.end_us - t_before)
+        assert rt.host_time >= kernel.end_us
+
+    def test_device_synchronize_idle_cheap(self):
+        rt = CudaRuntime()
+        rt.launch_kernel(spec(), duration_us=1.0)
+        rt.device_synchronize()
+        t = rt.host_time
+        rt.device_synchronize()
+        assert rt.host_time - t == pytest.approx(rt.device.device_sync_base_us)
+
+    def test_memcpy_blocks_until_device_idle(self):
+        rt = CudaRuntime()
+        rt.launch_kernel(spec(), duration_us=300.0)
+        rt.memcpy_d2h(1000)
+        assert rt.trace.memcpy[-1].start_us >= 300.0
+
+    def test_memcpy_duration_scales_with_bytes(self):
+        rt = CudaRuntime()
+        rt.memcpy_h2d(1_000_000)
+        rt.memcpy_h2d(10_000_000)
+        small, large = rt.trace.memcpy
+        assert large.duration_us > small.duration_us
+
+    def test_stage_sync_barriers_all_streams(self):
+        rt = CudaRuntime()
+        s1 = rt.stream_create()
+        rt.launch_kernel(spec("a"), 200.0, stream=0)
+        rt.launch_kernel(spec("b"), 100.0, stream=s1)
+        rt.stage_sync([0, s1])
+        e = rt.launch_kernel(spec("c"), 1.0, stream=s1)
+        assert e.start_us >= 200.0
+
+    def test_trace_aggregations(self):
+        rt = CudaRuntime()
+        rt.launch_kernel(spec("a", category="conv"), 10.0)
+        rt.launch_kernel(spec("b", category="matmul"), 20.0)
+        byname = rt.trace.kernel_time_by_category()
+        assert byname == {"conv": 10.0, "matmul": 20.0}
+        assert rt.trace.api_time_by_name()["cudaLaunchKernel"] == pytest.approx(
+            2 * rt.device.kernel_launch_us
+        )

@@ -1,0 +1,89 @@
+"""Graph IR: construction, validation, traversal."""
+
+import pytest
+
+from repro.graph import Graph, GraphError, Operator, OpType
+
+
+def diamond() -> Graph:
+    g = Graph("diamond")
+    g.add(Operator("in", OpType.INPUT, out_shape=(4,)))
+    g.add(Operator("a", OpType.RELU, ("in",), (4,)))
+    g.add(Operator("b", OpType.RELU, ("a",), (4,)))
+    g.add(Operator("c", OpType.RELU, ("a",), (4,)))
+    g.add(Operator("d", OpType.CONCAT, ("b", "c"), (8,)))
+    return g
+
+
+class TestConstruction:
+    def test_duplicate_name_rejected(self):
+        g = Graph()
+        g.add(Operator("x", OpType.INPUT, out_shape=(1,)))
+        with pytest.raises(GraphError):
+            g.add(Operator("x", OpType.RELU, ("x",), (1,)))
+
+    def test_unknown_dependency_rejected(self):
+        g = Graph()
+        with pytest.raises(GraphError):
+            g.add(Operator("y", OpType.RELU, ("missing",), (1,)))
+
+    def test_insertion_is_topological(self):
+        g = diamond()
+        names = g.names()
+        for op in g.nodes():
+            for dep in op.inputs:
+                assert names.index(dep) < names.index(op.name)
+
+    def test_contains_and_getitem(self):
+        g = diamond()
+        assert "a" in g and g["a"].op_type is OpType.RELU
+        assert len(g) == 5
+
+
+class TestTraversal:
+    def test_successors_predecessors(self):
+        g = diamond()
+        assert set(g.successors("a")) == {"b", "c"}
+        assert g.predecessors("d") == ("b", "c")
+
+    def test_successor_map_matches_successors(self):
+        g = diamond()
+        smap = g.successor_map()
+        for name in g.names():
+            assert smap[name] == g.successors(name)
+
+    def test_input_output_nodes(self):
+        g = diamond()
+        assert [op.name for op in g.input_nodes()] == ["in"]
+        assert [op.name for op in g.output_nodes()] == ["d"]
+
+    def test_compute_nodes_exclude_input(self):
+        g = diamond()
+        assert [op.name for op in g.compute_nodes()] == ["a", "b", "c", "d"]
+
+    def test_ancestors(self):
+        g = diamond()
+        assert g.ancestors("d") == {"in", "a", "b", "c"}
+        assert g.ancestors("a") == {"in"}
+
+
+class TestValidation:
+    def test_valid_graph_passes(self):
+        diamond().validate()
+
+    def test_empty_graph_fails(self):
+        with pytest.raises(GraphError):
+            Graph().validate()
+
+    def test_no_input_fails(self):
+        g = Graph()
+        g.add(Operator("a", OpType.RELU, (), (1,)))
+        with pytest.raises(GraphError):
+            g.validate()
+
+    def test_operator_attrs(self):
+        op = Operator("c", OpType.CONV2D, ("in",), (8, 4, 4),
+                      attrs={"kernel": 3})
+        assert op.attr("kernel") == 3
+        assert op.attr("missing", 7) == 7
+        assert op.out_elems == 8 * 4 * 4

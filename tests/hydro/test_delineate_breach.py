@@ -1,0 +1,135 @@
+"""Stream delineation, terminations, breaching, and connectivity metrics."""
+
+import numpy as np
+import pytest
+
+from repro.hydro import (
+    assess_connectivity,
+    breach_at_crossing,
+    breach_dem,
+    delineate_streams,
+    priority_flood_fill,
+    trace_flow_path,
+)
+
+
+def valley_with_dam(n=24, dam_col=None, dam_height=5.0):
+    """A V-valley draining east with an optional N-S embankment."""
+    rows = np.abs(np.arange(n) - n // 2)[:, None] * 0.5
+    cols = np.linspace(5, 0, n)[None, :]
+    dem = rows + cols
+    if dam_col is not None:
+        dem[:, dam_col] += dam_height
+    return dem
+
+
+class TestDelineation:
+    def test_valley_concentrates_flow(self):
+        dem = valley_with_dam()
+        net = delineate_streams(priority_flood_fill(dem, 1e-5), threshold=10)
+        assert net.mask[12, 20]  # valley axis near the outlet
+        assert not net.mask[1, 2]  # ridge cell
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            delineate_streams(valley_with_dam(), threshold=0)
+
+    def test_components_counts_segments(self):
+        dem = valley_with_dam()
+        net = delineate_streams(priority_flood_fill(dem, 1e-5), threshold=10)
+        _, count = net.components()
+        assert count >= 1
+
+    def test_dam_creates_terminations_and_fragments(self):
+        free = valley_with_dam()
+        dammed = valley_with_dam(dam_col=12)
+        net_free = delineate_streams(priority_flood_fill(free, 1e-5), threshold=10)
+        # Deliberately delineate on the RAW dammed DEM (the digital-dam
+        # failure mode: flow dies behind the embankment).
+        net_dam = delineate_streams(dammed, threshold=10)
+        assert len(net_dam.terminations()) >= len(net_free.terminations())
+
+
+class TestTracePath:
+    def test_path_reaches_edge_on_clean_valley(self):
+        dem = priority_flood_fill(valley_with_dam(), 1e-5)
+        net = delineate_streams(dem, threshold=5)
+        path = trace_flow_path(net.direction, (12, 2))
+        assert path[-1][1] >= 22  # exits near the east edge
+
+    def test_path_includes_start(self):
+        dem = priority_flood_fill(valley_with_dam(), 1e-5)
+        net = delineate_streams(dem, threshold=5)
+        assert trace_flow_path(net.direction, (12, 2))[0] == (12, 2)
+
+    def test_max_steps_truncates(self):
+        dem = priority_flood_fill(valley_with_dam(), 1e-5)
+        net = delineate_streams(dem, threshold=5)
+        path = trace_flow_path(net.direction, (12, 0), max_steps=3)
+        assert len(path) <= 4
+
+
+class TestBreach:
+    def test_breach_lowers_dam_crest(self):
+        dem = valley_with_dam(dam_col=12)
+        crest_before = dem[12, 12]
+        breach_at_crossing(dem, (12, 12), radius=3)
+        assert dem[12, 12] < crest_before
+
+    def test_breach_restores_flow_through(self):
+        dem = valley_with_dam(dam_col=12)
+        breached = breach_dem(dem, [(12, 12)], radius=3)
+        net = delineate_streams(priority_flood_fill(breached, 1e-5), threshold=10)
+        path = trace_flow_path(net.direction, (12, 2))
+        assert path[-1][1] >= 20  # crosses the (breached) dam
+
+    def test_breach_dem_copies(self):
+        dem = valley_with_dam(dam_col=12)
+        original = dem.copy()
+        breach_dem(dem, [(12, 12)])
+        assert np.allclose(dem, original)
+
+    def test_breach_validation(self):
+        dem = valley_with_dam()
+        with pytest.raises(IndexError):
+            breach_at_crossing(dem, (99, 99))
+        with pytest.raises(ValueError):
+            breach_at_crossing(dem, (12, 12), radius=0)
+
+    def test_breach_near_border_noop(self):
+        dem = valley_with_dam(dam_col=12)
+        before = dem.copy()
+        breach_at_crossing(dem, (0, 0), radius=3)
+        assert np.allclose(dem, before)
+
+
+class TestConnectivity:
+    def test_breaching_improves_connectivity(self):
+        """The Figure 1 story end-to-end on a toy valley."""
+        dammed = valley_with_dam(dam_col=12)
+        breached = breach_dem(dammed, [(12, 12)], radius=3)
+
+        def report(dem):
+            net = delineate_streams(dem, threshold=10)
+            return assess_connectivity(dem, net)
+
+        before, after = report(dammed), report(breached)
+        assert after.num_terminations <= before.num_terminations
+        assert after.mean_path_length >= before.mean_path_length
+
+    def test_report_fields(self):
+        dem = priority_flood_fill(valley_with_dam(), 1e-5)
+        net = delineate_streams(dem, threshold=10)
+        rep = assess_connectivity(dem, net)
+        assert rep.num_stream_cells == net.num_cells
+        assert rep.num_segments >= 1
+        assert rep.fragmentation >= 0
+
+    def test_better_than_strictness(self):
+        from repro.hydro import ConnectivityReport
+
+        a = ConnectivityReport(10, 1, 10, 0, 20.0, 0)
+        b = ConnectivityReport(10, 1, 10, 2, 10.0, 5)
+        assert a.better_than(b)
+        assert not b.better_than(a)
+        assert not a.better_than(a)  # not strictly better than itself

@@ -1,0 +1,139 @@
+"""Priority-flood filling and D8 routing, with hypothesis invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hydro import (
+    D8_OFFSETS,
+    FLOW_NONE,
+    depression_mask,
+    downstream_index,
+    flow_accumulation,
+    flow_direction,
+    priority_flood_fill,
+)
+
+settings.register_profile("hydro", deadline=None, max_examples=25)
+settings.load_profile("hydro")
+
+
+def bowl(n=9, depth=2.0):
+    """A DEM with a single interior depression."""
+    dem = np.fromfunction(lambda r, c: ((r - n // 2) ** 2 + (c - n // 2) ** 2) ** 0.5,
+                          (n, n))
+    dem = dem.max() - dem  # peak at center
+    dem[n // 2, n // 2] -= depth + dem[n // 2, n // 2]
+    return dem
+
+
+@st.composite
+def random_dems(draw, max_n=14):
+    n = draw(st.integers(4, max_n))
+    seed = draw(st.integers(0, 2**31 - 1))
+    return np.random.default_rng(seed).random((n, n)) * 10
+
+
+class TestPriorityFlood:
+    def test_never_lowers(self):
+        dem = bowl()
+        filled = priority_flood_fill(dem)
+        assert (filled >= dem - 1e-12).all()
+
+    def test_fills_single_depression_to_pour_point(self):
+        dem = np.ones((5, 5))
+        dem[2, 2] = 0.0
+        filled = priority_flood_fill(dem)
+        assert filled[2, 2] == pytest.approx(1.0)
+
+    def test_border_untouched(self):
+        dem = bowl()
+        filled = priority_flood_fill(dem)
+        assert np.allclose(filled[0, :], dem[0, :])
+        assert np.allclose(filled[:, -1], dem[:, -1])
+
+    def test_epsilon_produces_no_interior_pits(self):
+        dem = bowl(11)
+        filled = priority_flood_fill(dem, epsilon=1e-4)
+        direction = flow_direction(filled)
+        assert (direction[1:-1, 1:-1] != FLOW_NONE).all()
+
+    def test_tiny_dem_passthrough(self):
+        dem = np.array([[1.0, 2.0], [3.0, 4.0]])
+        assert np.allclose(priority_flood_fill(dem), dem)
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError):
+            priority_flood_fill(np.zeros(5))
+
+    @given(random_dems())
+    def test_idempotent(self, dem):
+        once = priority_flood_fill(dem)
+        twice = priority_flood_fill(once)
+        assert np.allclose(once, twice)
+
+    @given(random_dems())
+    def test_no_depressions_remain(self, dem):
+        filled = priority_flood_fill(dem)
+        assert not depression_mask(filled).any()
+
+    def test_depression_mask_flags_bowl(self):
+        assert depression_mask(bowl()).any()
+
+
+class TestFlowDirection:
+    def test_west_gradient_flows_east(self):
+        dem = np.tile(np.linspace(10, 0, 8), (8, 1))
+        direction = flow_direction(dem)
+        assert (direction[:, :-1] == 0).all()  # code 0 = East
+
+    def test_pit_has_no_direction(self):
+        dem = np.ones((3, 3))
+        dem[1, 1] = 0.0
+        assert flow_direction(dem)[1, 1] == FLOW_NONE
+
+    def test_downstream_index_consistency(self):
+        dem = np.tile(np.linspace(10, 0, 6), (6, 1))
+        direction = flow_direction(dem)
+        down = downstream_index(direction)
+        r, c = 2, 3
+        dr, dc = D8_OFFSETS[direction[r, c]]
+        assert down[r, c] == (r + dr) * 6 + (c + dc)
+
+    def test_offgrid_flow_marked_negative(self):
+        dem = np.tile(np.linspace(10, 0, 6), (6, 1))
+        down = downstream_index(flow_direction(dem))
+        assert (down[:, -1] == -1).all()  # east edge drains off-grid
+
+
+class TestFlowAccumulation:
+    def test_linear_slope_accumulates_along_rows(self):
+        dem = np.tile(np.linspace(10, 0, 7), (3, 1))
+        acc = flow_accumulation(dem)
+        assert (acc[:, 0] == 1).all()
+        assert (acc[:, -1] >= acc[:, 0]).all()
+
+    @given(random_dems())
+    def test_conservation_on_filled_dem(self, dem):
+        """Every cell contributes exactly itself: max accumulation <= n*n
+        and every cell >= 1."""
+        filled = priority_flood_fill(dem, epsilon=1e-5)
+        acc = flow_accumulation(filled)
+        assert (acc >= 1).all()
+        assert acc.max() <= dem.size
+
+    @given(random_dems(max_n=10))
+    def test_downstream_monotonicity(self, dem):
+        """Accumulation never decreases along a flow path."""
+        filled = priority_flood_fill(dem, epsilon=1e-5)
+        direction = flow_direction(filled)
+        acc = flow_accumulation(filled, direction)
+        down = downstream_index(direction)
+        n = dem.shape[1]
+        for r in range(dem.shape[0]):
+            for c in range(n):
+                target = down[r, c]
+                if target >= 0:
+                    tr, tc = divmod(int(target), n)
+                    assert acc[tr, tc] >= acc[r, c]

@@ -1,0 +1,52 @@
+"""Example scripts: syntax, CLI surface, and importability.
+
+Full example runs train models for minutes; these tests pin the cheap
+invariants — every example compiles, exposes --help, and only imports
+public ``repro`` API.
+"""
+
+import ast
+import pathlib
+import py_compile
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = sorted(pathlib.Path(__file__).parents[2].joinpath("examples").glob("*.py"))
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+class TestExamples:
+    def test_compiles(self, path, tmp_path):
+        py_compile.compile(str(path), cfile=str(tmp_path / "out.pyc"), doraise=True)
+
+    def test_has_docstring_and_main_guard(self, path):
+        tree = ast.parse(path.read_text())
+        assert ast.get_docstring(tree), f"{path.name} missing module docstring"
+        assert 'if __name__ == "__main__":' in path.read_text()
+
+    def test_help_exits_cleanly(self, path):
+        result = subprocess.run(
+            [sys.executable, str(path), "--help"],
+            capture_output=True, text=True, timeout=120,
+        )
+        assert result.returncode == 0, result.stderr
+        assert "usage" in result.stdout.lower()
+
+    def test_imports_only_public_api(self, path):
+        """Examples must consume the public package surface, not private
+        modules — the adoption contract."""
+        tree = ast.parse(path.read_text())
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ImportFrom) and node.module:
+                if node.module.startswith("repro"):
+                    parts = node.module.split(".")
+                    assert all(not p.startswith("_") for p in parts)
+
+
+def test_expected_example_set():
+    names = {p.name for p in EXAMPLES}
+    assert {"quickstart.py", "nas_search.py", "ios_scheduling.py",
+            "gpu_profiling.py", "connectivity_pipeline.py",
+            "full_scene_detection.py"} <= names

@@ -1,0 +1,126 @@
+"""Failure injection and robustness: the system degrades loudly, not
+silently."""
+
+import numpy as np
+import pytest
+
+from repro.arch import TABLE1_MODELS
+from repro.graph import Graph, Operator, OpType, build_sppnet_graph
+from repro.gpusim import (
+    CudaRuntime,
+    DeviceSpec,
+    GraphExecutor,
+    OutOfMemoryError,
+    sequential_stages,
+)
+from repro.ios import dp_schedule
+
+
+class TestDeviceOOM:
+    def test_executor_raises_on_tiny_device(self):
+        """A 64 MB card cannot host SPP-Net #2's 127 MB of weights."""
+        tiny = DeviceSpec(name="tiny", dram_capacity_gb=0.0625)
+        graph = build_sppnet_graph(TABLE1_MODELS["SPP-Net #2"])
+        executor = GraphExecutor(graph, device=tiny)
+        with pytest.raises(OutOfMemoryError):
+            executor.run(sequential_stages(graph), batch=1)
+
+    def test_oom_message_mentions_capacity(self):
+        tiny = DeviceSpec(name="tiny", dram_capacity_gb=0.0625)
+        graph = build_sppnet_graph(TABLE1_MODELS["SPP-Net #2"])
+        with pytest.raises(OutOfMemoryError, match="capacity"):
+            GraphExecutor(graph, device=tiny).run(sequential_stages(graph), 1)
+
+    def test_batch_big_enough_to_oom_activations(self):
+        """Weights fit, but a huge batch's activations do not."""
+        small = DeviceSpec(name="small", dram_capacity_gb=0.5)
+        graph = build_sppnet_graph(TABLE1_MODELS["Original SPP-Net"])
+        executor = GraphExecutor(graph, device=small)
+        executor.run(sequential_stages(graph), 1)  # fits
+        with pytest.raises(OutOfMemoryError):
+            executor.run(sequential_stages(graph), 2048)
+
+
+class TestDegenerateGraphs:
+    def test_single_op_graph(self):
+        g = Graph("one")
+        g.add(Operator("in", OpType.INPUT, out_shape=(8,)))
+        g.add(Operator("only", OpType.RELU, ("in",), (8,)))
+        sched = dp_schedule(g, 1)
+        assert sched.num_stages == 1
+        result = GraphExecutor(g).run(sched, 1)
+        assert result.latency_us > 0
+
+    def test_multi_output_graph(self):
+        g = Graph("fork")
+        g.add(Operator("in", OpType.INPUT, out_shape=(8,)))
+        g.add(Operator("a", OpType.RELU, ("in",), (8,)))
+        g.add(Operator("b", OpType.RELU, ("a",), (8,)))
+        g.add(Operator("c", OpType.RELU, ("a",), (8,)))  # two sinks
+        sched = dp_schedule(g, 1)
+        GraphExecutor(g).run(sched, 1)
+
+    def test_wide_flat_graph(self):
+        """Many independent ops: DP must stay polynomial via pruning cap."""
+        g = Graph("flat")
+        g.add(Operator("in", OpType.INPUT, out_shape=(64, 8, 8)))
+        for i in range(10):
+            g.add(Operator(f"p{i}", OpType.RELU, ("in",), (64, 8, 8)))
+        sched = dp_schedule(g, 1, max_stage_ops=4)
+        assert all(stage.num_ops <= 4 for stage in sched.stages)
+
+
+class TestTrainingEdgeCases:
+    def test_all_negative_batch_trains(self):
+        """detection_loss with zero positives must not crash or NaN."""
+        from repro.arch import ConvSpec, PoolSpec, SPPNetConfig
+        from repro.detect import TrainConfig, train_detector
+        from repro.geo import ChipDataset
+
+        rng = np.random.default_rng(0)
+        ds = ChipDataset(
+            rng.random((16, 4, 24, 24)).astype(np.float32),
+            np.zeros(16, dtype=np.int64),
+            np.zeros((16, 4), dtype=np.float32),
+            24,
+        )
+        arch = SPPNetConfig(convs=(ConvSpec(4, 3, 1),), pools=(PoolSpec(2, 2),),
+                            spp_levels=(2, 1), fc_sizes=(16,), name="neg-only")
+        result = train_detector(arch, ds, None, TrainConfig(epochs=1, batch_size=8))
+        assert np.isfinite(result.history[0].mean_loss)
+
+    def test_single_sample_batch(self):
+        from repro.tensor import Tensor, losses
+
+        logits = Tensor(np.zeros((1, 2)), requires_grad=True)
+        boxes = Tensor(np.full((1, 4), 0.5), requires_grad=True)
+        loss = losses.detection_loss(logits, boxes, np.array([1]),
+                                     np.full((1, 4), 0.4))
+        loss.backward()
+        assert np.isfinite(loss.item())
+
+
+class TestRuntimeConsistency:
+    def test_trace_times_monotone_per_stream(self):
+        graph = build_sppnet_graph(TABLE1_MODELS["Original SPP-Net"])
+        executor = GraphExecutor(graph)
+        result = executor.run(dp_schedule(graph, 4), 4)
+        per_stream: dict[int, float] = {}
+        for event in result.trace.kernels:
+            assert event.start_us >= per_stream.get(event.stream, 0.0) - 1e-9
+            per_stream[event.stream] = event.end_us
+
+    def test_api_events_monotone(self):
+        rt = CudaRuntime()
+        rt.init_session()
+        times = [e.start_us for e in rt.trace.api]
+        assert times == sorted(times)
+
+    def test_kernel_never_starts_before_its_launch_returns(self):
+        graph = build_sppnet_graph(TABLE1_MODELS["Original SPP-Net"])
+        executor = GraphExecutor(graph)
+        result = executor.run(sequential_stages(graph), 1)
+        launches = [e for e in result.trace.api if e.name == "cudaLaunchKernel"]
+        assert len(launches) == len(result.trace.kernels)
+        for api, kernel in zip(launches, result.trace.kernels):
+            assert kernel.start_us >= api.end_us - 1e-9

@@ -1,0 +1,33 @@
+"""Pipeline convenience API surface (cheap checks; the full run is covered
+by test_end_to_end.py::test_pipeline_smoke)."""
+
+import pytest
+
+from repro.pipeline import PipelineConfig, PipelineResult
+
+
+class TestPipelineConfig:
+    def test_defaults_are_demo_sized(self):
+        config = PipelineConfig()
+        assert config.nas_trials <= 5
+        assert config.train_epochs <= 5
+        assert config.batch >= 1
+
+    def test_frozen(self):
+        config = PipelineConfig()
+        with pytest.raises(AttributeError):
+            config.nas_trials = 99
+
+
+class TestPipelineResult:
+    def test_empty_result_shape(self):
+        from repro.geo import ChipDataset
+        import numpy as np
+
+        ds = ChipDataset(np.zeros((1, 4, 8, 8), np.float32),
+                         np.zeros(1, dtype=np.int64),
+                         np.zeros((1, 4), np.float32), 8)
+        result = PipelineResult(dataset=ds)
+        assert result.trials == []
+        assert result.winner_config is None
+        assert result.profile is None

@@ -1,0 +1,71 @@
+"""Schedule data structures and group derivation."""
+
+import pytest
+
+from repro.arch import TABLE1_MODELS
+from repro.graph import Graph, Operator, OpType, build_sppnet_graph
+from repro.ios import Group, Schedule, Stage, groups_from_ops
+
+
+@pytest.fixture()
+def graph():
+    return build_sppnet_graph(TABLE1_MODELS["SPP-Net #2"])
+
+
+class TestTypes:
+    def test_empty_group_rejected(self):
+        with pytest.raises(ValueError):
+            Group(())
+
+    def test_empty_stage_rejected(self):
+        with pytest.raises(ValueError):
+            Stage(())
+
+    def test_stage_counts(self):
+        stage = Stage((Group(("a", "b")), Group(("c",))))
+        assert stage.num_ops == 3 and stage.parallelism == 2
+
+    def test_schedule_accessors(self, graph):
+        sched = Schedule("g", 1, (Stage((Group(("conv1",)),)),
+                                  Stage((Group(("relu1",)), Group(("relu1x",))))))
+        assert sched.num_stages == 2
+        assert sched.num_ops == 3
+        assert sched.max_parallelism == 2
+        assert sched.stage_groups() == [[["conv1"]], [["relu1"], ["relu1x"]]]
+
+    def test_with_latency_preserves(self):
+        sched = Schedule("g", 4, (Stage((Group(("a",)),)),), strategy="x")
+        out = sched.with_latency(12.5)
+        assert out.latency_us == 12.5 and out.strategy == "x" and out.batch == 4
+
+    def test_describe_renders_groups(self, graph):
+        from repro.ios import dp_schedule
+
+        text = dp_schedule(graph, 1).describe()
+        assert "stage 0" in text and "conv1" in text
+
+
+class TestGroupsFromOps:
+    def test_spp_branches_become_separate_groups(self, graph):
+        groups = groups_from_ops(graph, {"spp5", "spp2", "spp1"})
+        assert len(groups) == 3
+        assert {g.ops for g in groups} == {("spp5",), ("spp2",), ("spp1",)}
+
+    def test_chain_is_one_group_in_topo_order(self, graph):
+        groups = groups_from_ops(graph, {"relu1", "conv1", "pool1"})
+        assert len(groups) == 1
+        assert groups[0].ops == ("conv1", "relu1", "pool1")
+
+    def test_mixed_components(self, graph):
+        groups = groups_from_ops(graph, {"spp5", "spp2", "cls_head", "box_head"})
+        # heads connect only through fc1_relu (outside the set) -> 4 groups
+        assert len(groups) == 4
+
+    def test_connected_through_concat(self, graph):
+        groups = groups_from_ops(graph, {"spp5", "spp2", "spp1", "spp_concat"})
+        assert len(groups) == 1  # concat joins all branches
+
+    def test_deterministic_order(self, graph):
+        a = groups_from_ops(graph, {"spp1", "spp2", "spp5"})
+        b = groups_from_ops(graph, {"spp5", "spp1", "spp2"})
+        assert [g.ops for g in a] == [g.ops for g in b]

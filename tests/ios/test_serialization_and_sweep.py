@@ -1,0 +1,59 @@
+"""Schedule JSON round-trips and the input-size sweep."""
+
+import pytest
+
+from repro.arch import TABLE1_MODELS
+from repro.experiments import run_input_size_sweep
+from repro.graph import build_sppnet_graph
+from repro.gpusim import validate_stages
+from repro.ios import Schedule, dp_schedule, measure_latency
+
+
+class TestScheduleSerialization:
+    def test_json_roundtrip(self):
+        graph = build_sppnet_graph(TABLE1_MODELS["SPP-Net #2"])
+        original = dp_schedule(graph, 4)
+        restored = Schedule.from_json(original.to_json())
+        assert restored.stage_groups() == original.stage_groups()
+        assert restored.batch == 4
+        assert restored.strategy == original.strategy
+        assert restored.latency_us == pytest.approx(original.latency_us)
+
+    def test_restored_schedule_executes_identically(self):
+        graph = build_sppnet_graph(TABLE1_MODELS["SPP-Net #3"])
+        original = dp_schedule(graph, 1)
+        restored = Schedule.from_json(original.to_json())
+        validate_stages(graph, restored.stage_groups())
+        assert measure_latency(graph, restored) == pytest.approx(
+            measure_latency(graph, original)
+        )
+
+    def test_save_load_file(self, tmp_path):
+        graph = build_sppnet_graph(TABLE1_MODELS["Original SPP-Net"])
+        schedule = dp_schedule(graph, 2)
+        path = schedule.save(tmp_path / "plans" / "sched.json")
+        assert path.exists()
+        loaded = Schedule.load(path)
+        assert loaded.stage_groups() == schedule.stage_groups()
+
+
+class TestInputSizeSweep:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_input_size_sweep(input_sizes=(100, 200, 400))
+
+    def test_latency_grows_with_input(self, result):
+        seq = [float(r[1].split()[0]) for r in result.rows]
+        assert seq == sorted(seq)
+        # conv work is quadratic in edge length: 4x area -> >2x latency
+        assert seq[-1] > 2 * seq[0]
+
+    def test_optimized_never_slower(self, result):
+        for row in result.rows:
+            assert float(row[2].split()[0]) <= float(row[1].split()[0])
+
+    def test_ios_gain_shrinks_with_size(self, result):
+        """Bigger inputs saturate the device: fixed sync savings matter
+        less, so the IOS speedup falls — the same shape as Figure 6."""
+        speedups = [float(r[3].rstrip("x")) for r in result.rows]
+        assert speedups[0] > speedups[-1]

@@ -1,0 +1,47 @@
+"""BatchNorm extension axis of the search space."""
+
+import numpy as np
+
+from repro.nas import config_from_sample, sppnet_search_space
+
+
+class TestBatchNormAxis:
+    def test_space_size_doubles(self):
+        assert sppnet_search_space(include_batchnorm=True).size == 350
+
+    def test_sample_decodes_flag(self):
+        cfg = config_from_sample({
+            "first_kernel": 3, "spp_first_level": 4, "fc_width": 256,
+            "batchnorm": True,
+        })
+        assert cfg.use_batchnorm
+        assert cfg.name.endswith("-bn]")
+
+    def test_default_space_has_no_bn(self):
+        space = sppnet_search_space()
+        sample = space.sample(np.random.default_rng(0))
+        assert "batchnorm" not in sample
+        assert not config_from_sample(sample).use_batchnorm
+
+    def test_bn_detector_has_more_parameters(self):
+        from repro.detect import SPPNetDetector
+
+        base = config_from_sample({"first_kernel": 3, "spp_first_level": 2,
+                                   "fc_width": 128})
+        bn = config_from_sample({"first_kernel": 3, "spp_first_level": 2,
+                                 "fc_width": 128, "batchnorm": True})
+        extra = (SPPNetDetector(bn, seed=0).num_parameters()
+                 - SPPNetDetector(base, seed=0).num_parameters())
+        assert extra == 2 * (64 + 128 + 256)  # gamma+beta per conv stage
+
+    def test_bn_flag_does_not_change_ir(self):
+        """BN folds into conv at inference: identical graphs either way."""
+        from repro.graph import build_sppnet_graph
+
+        base = config_from_sample({"first_kernel": 3, "spp_first_level": 4,
+                                   "fc_width": 256})
+        bn = config_from_sample({"first_kernel": 3, "spp_first_level": 4,
+                                 "fc_width": 256, "batchnorm": True})
+        g1 = build_sppnet_graph(base)
+        g2 = build_sppnet_graph(bn)
+        assert g1.names() == g2.names()

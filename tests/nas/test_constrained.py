@@ -1,0 +1,75 @@
+"""Accuracy-constrained efficiency optimization (§5.4 / Figure 5)."""
+
+import pytest
+
+from repro.arch import TABLE1_MODELS, TABLE1_PAPER_AP
+from repro.nas import (
+    CandidateProfile,
+    benchmark_candidates,
+    constrained_selection,
+    resource_aware_selection,
+)
+
+
+def profile(name, acc, opt_us, seq_us=None, batch=1):
+    return CandidateProfile(
+        config=TABLE1_MODELS["Original SPP-Net"].with_name(name),
+        accuracy=acc,
+        sequential_latency_us=seq_us if seq_us is not None else 2 * opt_us,
+        optimized_latency_us=opt_us,
+        batch=batch,
+    )
+
+
+class TestConstrainedSelection:
+    def test_filters_then_maximizes_efficiency(self):
+        profiles = [
+            profile("fast-but-inaccurate", 0.90, 100.0),
+            profile("accurate-slow", 0.98, 500.0),
+            profile("accurate-fast", 0.97, 300.0),
+        ]
+        winner = constrained_selection(profiles, accuracy_threshold=0.965)
+        assert winner.config.name == "accurate-fast"
+
+    def test_threshold_is_strict(self):
+        profiles = [profile("exactly-at", 0.97, 100.0),
+                    profile("above", 0.971, 400.0)]
+        winner = constrained_selection(profiles, accuracy_threshold=0.97)
+        assert winner.config.name == "above"  # a(n) > A is strict
+
+    def test_infeasible_raises_with_best_observed(self):
+        with pytest.raises(ValueError, match="0.9000"):
+            constrained_selection([profile("only", 0.90, 100.0)], 0.99)
+
+    def test_profile_derived_metrics(self):
+        p = profile("x", 0.95, 250.0, seq_us=500.0, batch=4)
+        assert p.efficiency == pytest.approx(1e6 * 4 / 250.0)
+        assert p.speedup == pytest.approx(2.0)
+
+
+class TestBenchmarkPipeline:
+    @pytest.fixture(scope="class")
+    def profiles(self):
+        candidates = [(cfg, TABLE1_PAPER_AP[name])
+                      for name, cfg in TABLE1_MODELS.items()]
+        return benchmark_candidates(candidates, batch=1)
+
+    def test_all_candidates_profiled(self, profiles):
+        assert len(profiles) == 4
+        for p in profiles:
+            assert p.optimized_latency_us < p.sequential_latency_us
+
+    def test_selection_meets_constraint(self, profiles):
+        winner = constrained_selection(profiles, 0.965)
+        assert winner.accuracy > 0.965
+        # smaller-FC feasible candidate is faster in the deterministic sim
+        assert winner.config.name == "SPP-Net #3"
+
+    def test_resource_aware_end_to_end(self):
+        candidates = [(cfg, TABLE1_PAPER_AP[name])
+                      for name, cfg in TABLE1_MODELS.items()]
+        winner, profiles = resource_aware_selection(candidates, 0.955)
+        assert winner in profiles
+        assert winner.accuracy > 0.955
+        feasible = [p for p in profiles if p.accuracy > 0.955]
+        assert winner.efficiency == max(p.efficiency for p in feasible)

@@ -1,0 +1,38 @@
+"""Arithmetic of the profiler's stat records."""
+
+import pytest
+
+from repro.profiling import ApiStat, KernelStat, MemopsStat
+
+
+class TestApiStat:
+    def test_avg(self):
+        stat = ApiStat("cudaMalloc", total_us=100.0, calls=25, share=0.1)
+        assert stat.avg_us == 4.0
+
+    def test_zero_calls_safe(self):
+        assert ApiStat("x", 0.0, 0, 0.0).avg_us == 0.0
+
+
+class TestKernelStat:
+    def test_display_name(self):
+        assert KernelStat("matmul", 1.0, 1, 1.0).display == "Matrix Multiplication"
+        assert KernelStat("custom", 1.0, 1, 1.0).display == "custom"
+
+
+class TestMemopsStat:
+    def test_per_image_conversion(self):
+        stat = MemopsStat(total_us=100.0, count=10, total_bytes=1000, images=50)
+        assert stat.per_image_ns == pytest.approx(1e3 * 100.0 / 50)
+
+    def test_avg_call(self):
+        stat = MemopsStat(total_us=100.0, count=10, total_bytes=1000, images=50)
+        assert stat.avg_call_us == 10.0
+
+    def test_zero_images_safe(self):
+        stat = MemopsStat(10.0, 1, 100, images=0)
+        assert stat.per_image_ns == 0.0
+
+    def test_zero_count_safe(self):
+        stat = MemopsStat(0.0, 0, 0, images=5)
+        assert stat.avg_call_us == 0.0

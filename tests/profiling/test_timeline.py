@@ -1,0 +1,71 @@
+"""Timeline views: ASCII Gantt and Chrome trace export."""
+
+import json
+
+import pytest
+
+from repro.arch import TABLE1_MODELS
+from repro.graph import build_inception_graph, build_sppnet_graph
+from repro.gpusim import GraphExecutor, Trace
+from repro.ios import dp_schedule
+from repro.profiling import ascii_gantt, save_chrome_trace, to_chrome_trace
+
+
+@pytest.fixture(scope="module")
+def run_result():
+    graph = build_inception_graph(branches=3, depth=1)
+    executor = GraphExecutor(graph)
+    return executor.run(dp_schedule(graph, 1), 1)
+
+
+class TestAsciiGantt:
+    def test_renders_streams_and_kernels(self, run_result):
+        text = ascii_gantt(run_result.trace)
+        assert "stream 0" in text
+        assert "#" in text
+        assert "b0_conv0" in text
+
+    def test_parallel_schedule_shows_multiple_streams(self, run_result):
+        text = ascii_gantt(run_result.trace)
+        assert sum(1 for line in text.splitlines()
+                   if line.startswith("stream")) >= 2
+
+    def test_empty_trace(self):
+        assert "no kernels" in ascii_gantt(Trace())
+
+    def test_width_respected(self, run_result):
+        for line in ascii_gantt(run_result.trace, width=40).splitlines():
+            if line.startswith("stream"):
+                bar = line.split("|")[1]
+                assert len(bar) == 40
+
+
+class TestChromeTrace:
+    def test_event_structure(self, run_result):
+        doc = to_chrome_trace(run_result.trace)
+        events = doc["traceEvents"]
+        kinds = {e.get("cat", "").split(",")[0] for e in events if "cat" in e}
+        assert "cuda_api" in kinds and "kernel" in kinds and "memops" in kinds
+        for event in events:
+            if event.get("ph") == "X":
+                assert event["dur"] >= 0 and event["ts"] >= 0
+
+    def test_kernel_events_match_trace(self, run_result):
+        doc = to_chrome_trace(run_result.trace)
+        kernel_events = [e for e in doc["traceEvents"]
+                         if e.get("cat", "").startswith("kernel")]
+        assert len(kernel_events) == len(run_result.trace.kernels)
+
+    def test_save_writes_valid_json(self, run_result, tmp_path):
+        path = save_chrome_trace(run_result.trace, tmp_path / "out" / "trace.json")
+        loaded = json.loads(path.read_text())
+        assert "traceEvents" in loaded
+
+    def test_streams_become_tids(self):
+        graph = build_sppnet_graph(TABLE1_MODELS["SPP-Net #2"])
+        executor = GraphExecutor(graph)
+        result = executor.run(dp_schedule(graph, 64), 64)
+        doc = to_chrome_trace(result.trace)
+        tids = {e["tid"] for e in doc["traceEvents"]
+                if e.get("cat", "").startswith("kernel")}
+        assert tids == {e.stream for e in result.trace.kernels}

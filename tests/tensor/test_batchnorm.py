@@ -1,0 +1,97 @@
+"""BatchNorm2d and the module buffer mechanism."""
+
+import numpy as np
+import pytest
+
+from repro.tensor import BatchNorm2d, Conv2d, Sequential, Tensor, gradcheck
+
+RNG = np.random.default_rng(3)
+
+
+class TestBatchNormForward:
+    def test_normalizes_batch_statistics(self):
+        bn = BatchNorm2d(3)
+        x = Tensor(RNG.standard_normal((8, 3, 6, 6)) * 5 + 2)
+        out = bn(x)
+        assert np.allclose(out.data.mean(axis=(0, 2, 3)), 0, atol=1e-8)
+        assert np.allclose(out.data.std(axis=(0, 2, 3)), 1, atol=1e-6)
+
+    def test_affine_applied(self):
+        bn = BatchNorm2d(2)
+        bn.weight.data[:] = [2.0, 3.0]
+        bn.bias.data[:] = [1.0, -1.0]
+        x = Tensor(RNG.standard_normal((4, 2, 5, 5)))
+        out = bn(x)
+        assert np.allclose(out.data.mean(axis=(0, 2, 3)), [1.0, -1.0], atol=1e-8)
+
+    def test_running_stats_track_input(self):
+        bn = BatchNorm2d(1, momentum=0.5)
+        x = Tensor(np.full((2, 1, 4, 4), 10.0) + RNG.standard_normal((2, 1, 4, 4)))
+        bn(x)
+        bn(x)
+        assert bn.running_mean[0] > 5.0
+
+    def test_eval_uses_running_stats(self):
+        bn = BatchNorm2d(1, momentum=1.0)  # running = last batch exactly
+        x = Tensor(RNG.standard_normal((16, 1, 8, 8)))
+        train_out = bn(x)
+        bn.eval()
+        eval_out = bn(x)
+        # biased vs unbiased variance causes a small, bounded difference
+        assert np.allclose(train_out.data, eval_out.data, atol=0.05)
+
+    def test_gradcheck(self):
+        bn = BatchNorm2d(2)
+        x = Tensor(RNG.standard_normal((3, 2, 4, 4)), requires_grad=True)
+        assert gradcheck(lambda t: bn(t), [x], atol=1e-5)
+
+    def test_parameter_gradients_flow(self):
+        bn = BatchNorm2d(2)
+        x = Tensor(RNG.standard_normal((3, 2, 4, 4)))
+        bn(x).sum().backward()
+        assert bn.weight.grad is not None and bn.bias.grad is not None
+
+    def test_input_validation(self):
+        bn = BatchNorm2d(3)
+        with pytest.raises(ValueError):
+            bn(Tensor(np.zeros((2, 4, 5, 5))))
+        with pytest.raises(ValueError):
+            BatchNorm2d(0)
+
+
+class TestBuffers:
+    def test_state_dict_includes_buffers(self):
+        bn = BatchNorm2d(2)
+        state = bn.state_dict()
+        assert "running_mean" in state and "running_var" in state
+
+    def test_buffers_roundtrip_through_checkpoint(self, tmp_path):
+        from repro.tensor import load_checkpoint, save_checkpoint
+
+        net = Sequential(Conv2d(1, 2, 3, rng=RNG), BatchNorm2d(2))
+        net(Tensor(RNG.standard_normal((4, 1, 8, 8))))  # move running stats
+        path = save_checkpoint(net, tmp_path / "bn.npz")
+
+        fresh = Sequential(Conv2d(1, 2, 3, rng=RNG), BatchNorm2d(2))
+        load_checkpoint(fresh, path)
+        bn_a = net.layers[1]
+        bn_b = fresh.layers[1]
+        assert np.allclose(bn_a.running_mean, bn_b.running_mean)
+        assert np.allclose(bn_a.running_var, bn_b.running_var)
+
+    def test_buffer_shape_mismatch_raises(self):
+        bn = BatchNorm2d(2)
+        state = bn.state_dict()
+        state["running_mean"] = np.zeros(5)
+        with pytest.raises(ValueError):
+            bn.load_state_dict(state)
+
+    def test_set_unknown_buffer_raises(self):
+        bn = BatchNorm2d(2)
+        with pytest.raises(KeyError):
+            bn._set_buffer("nope", np.zeros(2))
+
+    def test_buffers_receive_no_gradients(self):
+        bn = BatchNorm2d(2)
+        names = {n for n, _ in bn.named_parameters()}
+        assert "running_mean" not in names

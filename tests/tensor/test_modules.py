@@ -1,0 +1,181 @@
+"""Module system: registration, train/eval, state dicts, layer behavior."""
+
+import numpy as np
+import pytest
+
+from repro.tensor import (
+    AdaptiveMaxPool2d,
+    Conv2d,
+    Dropout,
+    Flatten,
+    Linear,
+    MaxPool2d,
+    Module,
+    Parameter,
+    ReLU,
+    Sequential,
+    SpatialPyramidPooling,
+    Tensor,
+)
+
+RNG = np.random.default_rng(7)
+
+
+def small_net():
+    return Sequential(
+        Conv2d(2, 4, 3, rng=np.random.default_rng(0)),
+        ReLU(),
+        MaxPool2d(2),
+        Flatten(),
+        Linear(4 * 3 * 3, 5, rng=np.random.default_rng(1)),
+    )
+
+
+class TestRegistration:
+    def test_parameters_discovered(self):
+        net = small_net()
+        names = [n for n, _ in net.named_parameters()]
+        assert "0.weight" in names and "0.bias" in names
+        assert "4.weight" in names and "4.bias" in names
+        assert len(names) == 4
+
+    def test_num_parameters(self):
+        lin = Linear(3, 2)
+        assert lin.num_parameters() == 3 * 2 + 2
+
+    def test_nested_modules(self):
+        class Wrapper(Module):
+            def __init__(self):
+                super().__init__()
+                self.inner = small_net()
+
+            def forward(self, x):
+                return self.inner(x)
+
+        w = Wrapper()
+        assert any(name.startswith("inner.0") for name, _ in w.named_parameters())
+
+    def test_modules_iterator(self):
+        net = small_net()
+        assert len(list(net.modules())) == 6  # Sequential + 5 layers
+
+
+class TestTrainEval:
+    def test_mode_propagates(self):
+        net = Sequential(Dropout(0.5), ReLU())
+        net.eval()
+        assert all(not m.training for m in net.modules())
+        net.train()
+        assert all(m.training for m in net.modules())
+
+    def test_dropout_respects_mode(self):
+        drop = Dropout(0.9, rng=np.random.default_rng(0))
+        x = Tensor(np.ones((10, 10)))
+        drop.eval()
+        assert np.allclose(drop(x).data, 1.0)
+
+    def test_zero_grad(self):
+        net = small_net()
+        x = Tensor(RNG.standard_normal((1, 2, 8, 8)))
+        net(x).sum().backward()
+        assert any(p.grad is not None for p in net.parameters())
+        net.zero_grad()
+        assert all(p.grad is None for p in net.parameters())
+
+
+class TestStateDict:
+    def test_roundtrip(self):
+        a, b = small_net(), small_net()
+        for p in a.parameters():
+            p.data += 1.0
+        b.load_state_dict(a.state_dict())
+        for (_, pa), (_, pb) in zip(a.named_parameters(), b.named_parameters()):
+            assert np.allclose(pa.data, pb.data)
+
+    def test_missing_key_raises(self):
+        net = small_net()
+        state = net.state_dict()
+        state.pop("0.weight")
+        with pytest.raises(KeyError):
+            net.load_state_dict(state)
+
+    def test_shape_mismatch_raises(self):
+        net = small_net()
+        state = net.state_dict()
+        state["0.weight"] = np.zeros((1, 1, 1, 1))
+        with pytest.raises(ValueError):
+            net.load_state_dict(state)
+
+    def test_state_dict_copies(self):
+        net = small_net()
+        state = net.state_dict()
+        state["0.weight"][:] = 99.0
+        assert not np.allclose(dict(net.named_parameters())["0.weight"].data, 99.0)
+
+
+class TestLayers:
+    def test_conv_layer_shape(self):
+        conv = Conv2d(3, 8, 5, stride=2, padding=2)
+        out = conv(Tensor(RNG.standard_normal((2, 3, 16, 16))))
+        assert out.shape == (2, 8, 8, 8)
+
+    def test_conv_no_bias(self):
+        conv = Conv2d(1, 1, 3, bias=False)
+        assert conv.bias is None
+        assert len(list(conv.parameters())) == 1
+
+    def test_linear_forward(self):
+        lin = Linear(4, 3)
+        assert lin(Tensor(np.ones((2, 4)))).shape == (2, 3)
+
+    def test_spp_layer_output_features(self):
+        spp = SpatialPyramidPooling((4, 2, 1))
+        assert spp.output_features(256) == 256 * 21
+        out = spp(Tensor(RNG.standard_normal((2, 8, 10, 12))))
+        assert out.shape == (2, 8 * 21)
+
+    def test_spp_invalid_levels(self):
+        with pytest.raises(ValueError):
+            SpatialPyramidPooling(())
+        with pytest.raises(ValueError):
+            SpatialPyramidPooling((0, 2))
+
+    def test_adaptive_pool_module(self):
+        pool = AdaptiveMaxPool2d(3)
+        assert pool(Tensor(RNG.standard_normal((1, 2, 9, 11)))).shape == (1, 2, 3, 3)
+
+    def test_sequential_iteration(self):
+        net = small_net()
+        assert len(net) == 5
+        assert isinstance(list(net)[0], Conv2d)
+
+    def test_forward_base_raises(self):
+        with pytest.raises(NotImplementedError):
+            Module().forward(None)
+
+    def test_parameter_is_tensor(self):
+        p = Parameter(np.zeros(3))
+        assert isinstance(p, Tensor) and p.requires_grad
+
+
+class TestEndToEndTraining:
+    def test_small_net_learns_linear_map(self):
+        """A 1-layer net fits a random linear teacher (sanity of the stack)."""
+        rng = np.random.default_rng(0)
+        teacher_w = rng.standard_normal((3, 6))
+        x = rng.standard_normal((64, 6))
+        y = x @ teacher_w.T
+        model = Linear(6, 3, rng=rng)
+        from repro.tensor.optim import SGD
+
+        opt = SGD(model.parameters(), lr=0.05, momentum=0.9, weight_decay=0.0)
+        first = None
+        for _ in range(200):
+            opt.zero_grad()
+            pred = model(Tensor(x))
+            loss = ((pred - Tensor(y)) ** 2).mean()
+            if first is None:
+                first = loss.item()
+            loss.backward()
+            opt.step()
+        assert loss.item() < 0.01 * first

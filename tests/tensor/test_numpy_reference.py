@@ -1,0 +1,102 @@
+"""Fuzz the autograd ops against plain NumPy reference computations."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tensor import Tensor
+
+settings.register_profile("ref", deadline=None, max_examples=50)
+settings.load_profile("ref")
+
+
+@st.composite
+def array_pairs(draw, max_dim=4):
+    """Two broadcast-compatible random arrays."""
+    ndim = draw(st.integers(1, 3))
+    shape = tuple(draw(st.integers(1, max_dim)) for _ in range(ndim))
+    seed = draw(st.integers(0, 2**31 - 1))
+    rng = np.random.default_rng(seed)
+    a = rng.standard_normal(shape)
+    # b broadcasts: randomly squeeze axes to 1
+    b_shape = tuple(1 if rng.random() < 0.4 else s for s in shape)
+    b = rng.standard_normal(b_shape)
+    return a, b
+
+
+class TestForwardAgainstNumpy:
+    @given(array_pairs())
+    def test_add(self, pair):
+        a, b = pair
+        assert np.allclose((Tensor(a) + Tensor(b)).data, a + b)
+
+    @given(array_pairs())
+    def test_mul(self, pair):
+        a, b = pair
+        assert np.allclose((Tensor(a) * Tensor(b)).data, a * b)
+
+    @given(array_pairs())
+    def test_sub_div(self, pair):
+        a, b = pair
+        b = np.where(np.abs(b) < 0.1, 0.5, b)
+        assert np.allclose((Tensor(a) - Tensor(b)).data, a - b)
+        assert np.allclose((Tensor(a) / Tensor(b)).data, a / b)
+
+    @given(st.integers(1, 5), st.integers(1, 5), st.integers(1, 5),
+           st.integers(0, 2**31 - 1))
+    def test_matmul(self, n, k, m, seed):
+        rng = np.random.default_rng(seed)
+        a, b = rng.standard_normal((n, k)), rng.standard_normal((k, m))
+        assert np.allclose((Tensor(a) @ Tensor(b)).data, a @ b)
+
+    @given(array_pairs())
+    def test_unary(self, pair):
+        a, _ = pair
+        assert np.allclose(Tensor(a).exp().data, np.exp(a))
+        assert np.allclose(Tensor(a).tanh().data, np.tanh(a))
+        assert np.allclose(Tensor(a).relu().data, np.maximum(a, 0))
+        assert np.allclose(Tensor(a).abs().data, np.abs(a))
+
+    @given(array_pairs())
+    def test_reductions(self, pair):
+        a, _ = pair
+        assert np.allclose(Tensor(a).sum().data, a.sum())
+        assert np.allclose(Tensor(a).mean().data, a.mean())
+        assert np.allclose(Tensor(a).max().data, a.max())
+        for axis in range(a.ndim):
+            assert np.allclose(Tensor(a).sum(axis=axis).data, a.sum(axis=axis))
+            assert np.allclose(Tensor(a).mean(axis=axis).data, a.mean(axis=axis))
+
+
+class TestGradientSumRule:
+    """d/dx sum(f(x)) summed over all elements equals the numeric total
+    derivative — a cheap whole-op gradient sanity independent of gradcheck."""
+
+    @given(array_pairs())
+    def test_product_rule_total(self, pair):
+        a, b = pair
+        ta = Tensor(a, requires_grad=True)
+        tb = Tensor(b, requires_grad=True)
+        (ta * tb).sum().backward()
+        assert ta.grad.shape == a.shape
+        # grad of sum(a*b) w.r.t. a is broadcast(b)
+        assert np.allclose(ta.grad, np.broadcast_to(b, a.shape))
+
+    @given(array_pairs())
+    def test_chain_rule_scale(self, pair):
+        a, _ = pair
+        t = Tensor(a, requires_grad=True)
+        ((t * 3.0) + 1.0).sum().backward()
+        assert np.allclose(t.grad, 3.0 * np.ones_like(a))
+
+    @given(st.integers(2, 6), st.integers(0, 2**31 - 1))
+    def test_softmax_grad_rows_sum_zero(self, k, seed):
+        """Softmax outputs sum to 1, so row gradients of any per-row pick
+        sum to ~0."""
+        from repro.tensor import functional as F
+
+        rng = np.random.default_rng(seed)
+        x = Tensor(rng.standard_normal((3, k)), requires_grad=True)
+        F.softmax(x, axis=1)[np.arange(3), np.zeros(3, dtype=int)].sum().backward()
+        assert np.allclose(x.grad.sum(axis=1), 0.0, atol=1e-10)

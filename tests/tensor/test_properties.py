@@ -1,0 +1,113 @@
+"""Hypothesis property tests for the tensor substrate."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tensor import Tensor, functional as F, unbroadcast
+
+settings.register_profile("repro", deadline=None, max_examples=40)
+settings.load_profile("repro")
+
+
+@st.composite
+def small_images(draw, max_hw=16, max_c=4, max_n=3):
+    n = draw(st.integers(1, max_n))
+    c = draw(st.integers(1, max_c))
+    h = draw(st.integers(5, max_hw))
+    w = draw(st.integers(5, max_hw))
+    seed = draw(st.integers(0, 2**31 - 1))
+    return np.random.default_rng(seed).standard_normal((n, c, h, w))
+
+
+class TestSPPInvariants:
+    @given(small_images(), st.integers(1, 4))
+    def test_spp_output_length_independent_of_spatial_size(self, x, top):
+        """The defining SPP property: fixed-length output for any H, W."""
+        levels = tuple(range(top, 0, -1))
+        if min(x.shape[2], x.shape[3]) < top:
+            return
+        out = F.spatial_pyramid_pool(Tensor(x), levels)
+        expected = x.shape[1] * sum(lv * lv for lv in levels)
+        assert out.shape == (x.shape[0], expected)
+
+    @given(small_images())
+    def test_spp_values_subset_of_input(self, x):
+        """Max pooling only selects existing activations."""
+        out = F.spatial_pyramid_pool(Tensor(x), (2, 1))
+        for n in range(x.shape[0]):
+            assert np.isin(np.round(out.data[n], 10),
+                           np.round(x[n], 10)).all()
+
+    @given(small_images(), st.integers(1, 3))
+    def test_adaptive_pool_monotone(self, x, size):
+        """Pooling a pointwise-larger input never decreases any output."""
+        a = F.adaptive_max_pool2d(Tensor(x), size).data
+        b = F.adaptive_max_pool2d(Tensor(x + 1.0), size).data
+        assert (b >= a).all()
+
+
+class TestConvInvariants:
+    @given(small_images(max_c=3), st.integers(1, 3), st.integers(1, 2),
+           st.integers(0, 2))
+    def test_conv_shape_algebra(self, x, k, stride, padding):
+        h, w = x.shape[2], x.shape[3]
+        if h + 2 * padding < k or w + 2 * padding < k:
+            return
+        weight = np.zeros((2, x.shape[1], k, k))
+        out = F.conv2d(Tensor(x), Tensor(weight), stride=stride, padding=padding)
+        assert out.shape[2] == (h + 2 * padding - k) // stride + 1
+        assert out.shape[3] == (w + 2 * padding - k) // stride + 1
+
+    @given(small_images(max_c=2, max_hw=10), st.integers(0, 2**31 - 1))
+    def test_conv_linearity(self, x, seed):
+        """conv(a*x) == a*conv(x) (convolution without bias is linear)."""
+        rng = np.random.default_rng(seed)
+        w = rng.standard_normal((2, x.shape[1], 3, 3))
+        if x.shape[2] < 3 or x.shape[3] < 3:
+            return
+        a = 2.5
+        out1 = F.conv2d(Tensor(a * x), Tensor(w)).data
+        out2 = a * F.conv2d(Tensor(x), Tensor(w)).data
+        assert np.allclose(out1, out2, atol=1e-8)
+
+
+class TestSoftmaxInvariants:
+    @given(st.integers(1, 6), st.integers(2, 8), st.integers(0, 2**31 - 1),
+           st.floats(-50, 50))
+    def test_softmax_shift_invariance(self, n, k, seed, shift):
+        x = np.random.default_rng(seed).standard_normal((n, k))
+        a = F.softmax(Tensor(x), axis=1).data
+        b = F.softmax(Tensor(x + shift), axis=1).data
+        assert np.allclose(a, b, atol=1e-10)
+
+    @given(st.integers(1, 6), st.integers(2, 8), st.integers(0, 2**31 - 1))
+    def test_softmax_is_distribution(self, n, k, seed):
+        x = np.random.default_rng(seed).standard_normal((n, k)) * 20
+        p = F.softmax(Tensor(x), axis=1).data
+        assert (p >= 0).all() and np.allclose(p.sum(axis=1), 1.0)
+
+
+class TestAutogradInvariants:
+    @given(st.integers(1, 5), st.integers(1, 5), st.integers(0, 2**31 - 1))
+    def test_sum_gradient_is_ones(self, n, m, seed):
+        x = Tensor(np.random.default_rng(seed).standard_normal((n, m)),
+                   requires_grad=True)
+        x.sum().backward()
+        assert np.allclose(x.grad, np.ones((n, m)))
+
+    @given(st.lists(st.floats(-10, 10, allow_nan=False), min_size=1, max_size=8))
+    def test_relu_grad_zero_one(self, values):
+        x = Tensor(np.array(values), requires_grad=True)
+        x.relu().sum().backward()
+        assert set(np.unique(x.grad)) <= {0.0, 1.0}
+
+    @given(st.integers(0, 2**31 - 1))
+    def test_unbroadcast_inverts_broadcast(self, seed):
+        rng = np.random.default_rng(seed)
+        shape = tuple(rng.integers(1, 4, size=rng.integers(1, 4)))
+        target = tuple(1 if rng.random() < 0.5 else s for s in shape)
+        g = rng.standard_normal(shape)
+        out = unbroadcast(g, target)
+        assert out.shape == target
+        assert np.isclose(out.sum(), g.sum())

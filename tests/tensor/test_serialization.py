@@ -1,0 +1,65 @@
+"""Checkpoint save/load round-trips."""
+
+import numpy as np
+import pytest
+
+from repro.tensor import (
+    Linear,
+    Sequential,
+    ReLU,
+    load_checkpoint,
+    load_state,
+    save_checkpoint,
+    set_default_dtype,
+    default_dtype,
+)
+
+
+def make_net(seed=0):
+    rng = np.random.default_rng(seed)
+    return Sequential(Linear(4, 8, rng=rng), ReLU(), Linear(8, 2, rng=rng))
+
+
+class TestCheckpoints:
+    def test_roundtrip(self, tmp_path):
+        a = make_net(seed=1)
+        path = save_checkpoint(a, tmp_path / "model.npz", metadata={"epoch": 3})
+        b = make_net(seed=2)
+        meta = load_checkpoint(b, path)
+        assert meta == {"epoch": 3}
+        for (_, pa), (_, pb) in zip(a.named_parameters(), b.named_parameters()):
+            assert np.allclose(pa.data, pb.data)
+
+    def test_load_state_raw(self, tmp_path):
+        net = make_net()
+        path = save_checkpoint(net, tmp_path / "m.npz")
+        state, meta = load_state(path)
+        assert meta == {}
+        assert set(state) == {n for n, _ in net.named_parameters()}
+
+    def test_creates_parent_dirs(self, tmp_path):
+        path = save_checkpoint(make_net(), tmp_path / "a" / "b" / "m.npz")
+        assert path.exists()
+
+    def test_mismatched_model_raises(self, tmp_path):
+        path = save_checkpoint(make_net(), tmp_path / "m.npz")
+        other = Sequential(Linear(3, 3))
+        with pytest.raises(KeyError):
+            load_checkpoint(other, path)
+
+
+class TestDefaultDtype:
+    def test_set_and_restore(self):
+        previous = set_default_dtype(np.float32)
+        try:
+            assert default_dtype() == np.float32
+            from repro.tensor import Tensor
+
+            assert Tensor([1.0]).dtype == np.float32
+        finally:
+            set_default_dtype(previous)
+        assert default_dtype() == previous
+
+    def test_rejects_non_float(self):
+        with pytest.raises(ValueError):
+            set_default_dtype(np.int32)
