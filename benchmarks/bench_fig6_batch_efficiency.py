@@ -4,7 +4,7 @@ import pytest
 
 from repro.experiments import run_fig6, select_optimal_batch
 from repro.gpusim import GraphExecutor
-from repro.ios import dp_schedule, sequential_schedule
+from repro.ios import dp_schedule
 
 from conftest import emit
 

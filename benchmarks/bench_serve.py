@@ -1,0 +1,151 @@
+"""Serving throughput: dynamic-batching service vs per-chip predict loop.
+
+Replays the paper's Figure 6 story at the serving layer: the same chips
+go through (a) the sequential one-chip-at-a-time ``predict`` loop — the
+deployment path before ``repro.serve`` existed — and (b) the
+:class:`~repro.serve.InferenceService` at each batch size recorded in
+``results/fig6.json``.  Emits ``BENCH_serve.json`` so the perf
+trajectory of the serving layer is recorded run over run.
+
+Usage::
+
+    python benchmarks/bench_serve.py [--chips N] [--out PATH]
+
+Also collectable by pytest (``pytest benchmarks/bench_serve.py``).
+"""
+
+import argparse
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.arch import ConvSpec, PoolSpec, SPPNetConfig
+from repro.detect import SPPNetDetector, predict
+from repro.serve import BatchPolicy, InferenceService, policy_from_fig6
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+FIG6 = REPO_ROOT / "results" / "fig6.json"
+CHIP_SIZE = 24  # small chips: the regime where per-call overhead dominates
+
+ARCH = SPPNetConfig(
+    convs=(ConvSpec(8, 3, 1),), pools=(PoolSpec(2, 2),),
+    spp_levels=(2, 1), fc_sizes=(32,), name="serve-bench",
+)
+
+
+def fig6_batches() -> list[int]:
+    rows = json.loads(FIG6.read_text())["rows"]
+    return [int(row[0]) for row in rows]
+
+
+def make_chips(n: int, seed: int = 0) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    return rng.normal(size=(n, 4, CHIP_SIZE, CHIP_SIZE)).astype(np.float32)
+
+
+def sequential_throughput(model, chips: np.ndarray, repeats: int = 3) -> float:
+    """Chips/second of the pre-serving path: one predict call per chip.
+
+    Best of ``repeats`` passes — the smoke gate should measure the code,
+    not scheduler noise on a shared CI runner.
+    """
+    predict(model, chips[:4], batch_size=1)  # warmup
+    best = 0.0
+    for _ in range(repeats):
+        start = time.perf_counter()
+        for chip in chips:
+            predict(model, chip[None], batch_size=1)
+        best = max(best, len(chips) / (time.perf_counter() - start))
+    return best
+
+
+def service_throughput(model, chips: np.ndarray, max_batch: int,
+                       repeats: int = 3) -> tuple[float, dict]:
+    """Chips/second through the dynamic batcher at one max_batch setting.
+
+    The cache is disabled so every request exercises the model path —
+    this measures batching, not memoization.  Best of ``repeats`` passes.
+    """
+    policy = BatchPolicy(max_batch=max_batch, max_wait_ms=2.0)
+    best = 0.0
+    with InferenceService(model, policy, cache_size=0,
+                          max_queue=4 * len(chips)) as service:
+        for future in service.submit_many(chips[:4]):  # warmup
+            future.result()
+        for _ in range(repeats):
+            start = time.perf_counter()
+            futures = service.submit_many(chips)
+            for future in futures:
+                future.result()
+            best = max(best, len(chips) / (time.perf_counter() - start))
+        snapshot = service.metrics.snapshot()
+    return best, snapshot
+
+
+def run_benchmark(num_chips: int = 128) -> dict:
+    model = SPPNetDetector(ARCH, seed=0)
+    chips = make_chips(num_chips)
+    batches = fig6_batches()
+    tuned = policy_from_fig6()
+
+    seq_cps = sequential_throughput(model, chips)
+    results = []
+    for max_batch in batches:
+        cps, snapshot = service_throughput(model, chips, max_batch)
+        results.append({
+            "max_batch": max_batch,
+            "throughput_chips_per_s": cps,
+            "speedup_vs_sequential": cps / seq_cps,
+            "mean_batch_size": snapshot["mean_batch_size"],
+            "latency_ms": snapshot["latency_ms"],
+        })
+
+    best = max(results, key=lambda r: r["throughput_chips_per_s"])
+    return {
+        "benchmark": "serve",
+        "model": ARCH.name,
+        "chip_size": CHIP_SIZE,
+        "num_chips": num_chips,
+        "fig6_policy_max_batch": tuned.max_batch,
+        "sequential_throughput_chips_per_s": seq_cps,
+        "service": results,
+        "best": {"max_batch": best["max_batch"],
+                 "speedup_vs_sequential": best["speedup_vs_sequential"]},
+    }
+
+
+def test_batched_service_beats_sequential_loop():
+    """Acceptance: service throughput >= 2x the per-chip predict loop at
+    the best fig6 batch size."""
+    payload = run_benchmark(num_chips=96)
+    assert payload["best"]["speedup_vs_sequential"] >= 2.0
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--chips", type=int, default=128,
+                        help="requests per measurement")
+    parser.add_argument("--out", type=Path, default=Path("BENCH_serve.json"))
+    args = parser.parse_args()
+
+    payload = run_benchmark(args.chips)
+    args.out.write_text(json.dumps(payload, indent=2) + "\n")
+
+    print(f"sequential loop : {payload['sequential_throughput_chips_per_s']:8.1f} chips/s")
+    for row in payload["service"]:
+        marker = " <- fig6 policy" if (
+            row["max_batch"] == payload["fig6_policy_max_batch"]) else ""
+        print(f"service b={row['max_batch']:<3d}   : "
+              f"{row['throughput_chips_per_s']:8.1f} chips/s  "
+              f"({row['speedup_vs_sequential']:4.2f}x){marker}")
+    best = payload["best"]
+    print(f"best: {best['speedup_vs_sequential']:.2f}x at "
+          f"max_batch={best['max_batch']} -> {args.out}")
+    if best["speedup_vs_sequential"] < 2.0:
+        raise SystemExit("FAIL: batched service did not reach 2x sequential")
+
+
+if __name__ == "__main__":
+    main()

@@ -160,7 +160,8 @@ _TOKEN = re.compile(r"(C|P|SPP|F)_\{([0-9,\s]+)\}")
 def parse_grammar(text: str, in_channels: int = 4, name: str = "SPP-Net") -> SPPNetConfig:
     """Parse a Table 1 grammar string into an :class:`SPPNetConfig`.
 
-    Accepts e.g. ``"C_{64,3,1}-P_{2,2}-C_{128,3,1}-P_{2,2}-C_{256,3,1}-P_{2,2}-SPP_{4,2,1}-F_{1024}"``.
+    Accepts e.g.
+    ``"C_{64,3,1}-P_{2,2}-C_{128,3,1}-P_{2,2}-C_{256,3,1}-P_{2,2}-SPP_{4,2,1}-F_{1024}"``.
     """
     convs: list[ConvSpec] = []
     pools: list[PoolSpec] = []

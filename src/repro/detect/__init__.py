@@ -14,6 +14,7 @@ from .scan import (
     SceneDetectionScores,
     evaluate_scene_detections,
     non_max_suppression,
+    scan_origins,
     scan_scene,
 )
 from .sppnet import SPPNetDetector, build_detector
@@ -42,6 +43,7 @@ __all__ = [
     "SceneDetection",
     "SceneDetectionScores",
     "non_max_suppression",
+    "scan_origins",
     "scan_scene",
     "evaluate_scene_detections",
     "FoldResult",

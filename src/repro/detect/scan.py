@@ -14,6 +14,7 @@ the right cell?).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -22,8 +23,11 @@ from ..geo.scene import Scene
 from .predict import predict
 from .sppnet import SPPNetDetector
 
-__all__ = ["SceneDetection", "SceneDetectionScores", "non_max_suppression",
-           "scan_scene", "evaluate_scene_detections"]
+if TYPE_CHECKING:
+    from ..serve import InferenceService
+
+__all__ = ["SceneDetection", "SceneDetectionScores", "scan_origins",
+           "non_max_suppression", "scan_scene", "evaluate_scene_detections"]
 
 
 @dataclass(frozen=True)
@@ -56,6 +60,21 @@ def non_max_suppression(detections: list[SceneDetection],
     return kept
 
 
+def scan_origins(size: int, window: int, stride: int) -> list[tuple[int, int]]:
+    """Window origins covering a ``size``-by-``size`` scene completely.
+
+    A final origin at ``size - window`` is always included so coverage
+    reaches the scene edge even when ``size - window`` is not a multiple
+    of ``stride``.
+    """
+    if window > size:
+        raise ValueError(f"window {window} exceeds scene size {size}")
+    if stride < 1:
+        raise ValueError("stride must be >= 1")
+    starts = list(range(0, size - window, stride)) + [size - window]
+    return [(r, c) for r in starts for c in starts]
+
+
 def scan_scene(
     model: SPPNetDetector,
     scene: Scene,
@@ -64,6 +83,7 @@ def scan_scene(
     confidence_threshold: float = 0.7,
     nms_radius: float = 20.0,
     batch_size: int = 20,
+    service: "InferenceService | None" = None,
 ) -> list[SceneDetection]:
     """Detect crossings across a whole scene.
 
@@ -71,20 +91,24 @@ def scan_scene(
     near the center of at least one window; the per-window box regression
     is mapped back to scene coordinates before NMS.  The confidence
     threshold defaults to 0.7 like the related-work faster-R-CNN baseline.
+
+    With a ``service`` (:class:`repro.serve.InferenceService`), windows
+    are submitted as individual requests instead of one local ``predict``
+    call — the service micro-batches them, repeat tiles hit its LRU
+    cache, and concurrent scans share the same worker pool.
     """
     n = scene.size
-    if window > n:
-        raise ValueError(f"window {window} exceeds scene size {n}")
-    origins = [
-        (r, c)
-        for r in list(range(0, n - window, stride)) + [n - window]
-        for c in list(range(0, n - window, stride)) + [n - window]
-    ]
+    origins = scan_origins(n, window, stride)
     tiles = np.stack([
         scene.image[:, r:r + window, c:c + window] for r, c in origins
     ]).astype(np.float32)
 
-    confidences, boxes = predict(model, tiles, batch_size=batch_size)
+    if service is not None:
+        results = [f.result() for f in service.submit_many(tiles)]
+        confidences = np.array([r.confidence for r in results])
+        boxes = np.stack([r.box for r in results])
+    else:
+        confidences, boxes = predict(model, tiles, batch_size=batch_size)
     detections: list[SceneDetection] = []
     for (r0, c0), conf, box in zip(origins, confidences, boxes):
         if conf < confidence_threshold:
@@ -130,7 +154,13 @@ def evaluate_scene_detections(
     ground_truth: list[Crossing],
     match_radius: float = 15.0,
 ) -> SceneDetectionScores:
-    """Greedy one-to-one matching by center distance (confident first)."""
+    """Greedy one-to-one matching by center distance (confident first).
+
+    ``mean_center_error`` is ``0.0`` when there are no matches: the JSON
+    spec has no NaN literal, so serialized score artifacts must never
+    contain one — check ``true_positives`` to distinguish "no matches"
+    from "perfect centering".
+    """
     unmatched = list(ground_truth)
     tp = 0
     errors: list[float] = []
@@ -148,5 +178,5 @@ def evaluate_scene_detections(
         true_positives=tp,
         false_positives=len(detections) - tp,
         false_negatives=len(unmatched),
-        mean_center_error=float(np.mean(errors)) if errors else float("nan"),
+        mean_center_error=float(np.mean(errors)) if errors else 0.0,
     )

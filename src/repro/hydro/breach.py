@@ -58,7 +58,8 @@ def breach_at_crossing(
 
     cells = _transect(center, radius, best_axis)
     lo = min(dem[cells[0]], dem[cells[-1]]) - drop
-    hi_end, lo_end = (cells[0], cells[-1]) if dem[cells[0]] > dem[cells[-1]] else (cells[-1], cells[0])
+    hi_end, lo_end = ((cells[0], cells[-1]) if dem[cells[0]] > dem[cells[-1]]
+                      else (cells[-1], cells[0]))
     n = len(cells)
     for i, (rr, cc) in enumerate(cells):
         # Monotone ramp from the higher toe down to just below the lower toe.

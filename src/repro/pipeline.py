@@ -26,7 +26,7 @@ from .nas import (
 )
 from .profiling import ProfileReport, profile_session
 
-__all__ = ["PipelineConfig", "PipelineResult", "run_pipeline"]
+__all__ = ["PipelineConfig", "PipelineResult", "run_pipeline", "serve_winner"]
 
 
 @dataclass(frozen=True)
@@ -41,6 +41,7 @@ class PipelineConfig:
     accuracy_threshold: float = 0.5
     batch: int = 1
     profile_iterations: int = 100
+    serve_requests: int = 0  # >0: smoke the winner through InferenceService
 
 
 @dataclass
@@ -52,8 +53,10 @@ class PipelineResult:
     candidates: list[tuple[SPPNetConfig, float]] = field(default_factory=list)
     winner_config: SPPNetConfig | None = None
     winner_scores: DetectionScores | None = None
+    winner_model: object | None = None
     schedule_result: OptimizationResult | None = None
     profile: ProfileReport | None = None
+    serve_metrics: dict | None = None
 
 
 def run_pipeline(config: PipelineConfig | None = None,
@@ -70,6 +73,7 @@ def run_pipeline(config: PipelineConfig | None = None,
     result = PipelineResult(dataset=dataset)
 
     trained: dict[tuple, DetectionScores] = {}
+    models: dict[tuple, object] = {}
 
     def evaluate(arch: SPPNetConfig) -> dict:
         run = train_detector(
@@ -78,6 +82,7 @@ def run_pipeline(config: PipelineConfig | None = None,
         )
         scores = evaluate_detector(run.model, test_set, iou_threshold=0.35)
         trained[(arch.name,)] = scores
+        models[(arch.name,)] = run.model
         return {"value": scores.ap, "accuracy": scores.accuracy}
 
     experiment = Experiment(
@@ -99,6 +104,7 @@ def run_pipeline(config: PipelineConfig | None = None,
     )
     result.winner_config = winner.config
     result.winner_scores = trained.get((winner.config.name,))
+    result.winner_model = models.get((winner.config.name,))
 
     graph = build_sppnet_graph(winner.config)
     result.schedule_result = optimize_schedule(graph, config.batch, device)
@@ -106,4 +112,27 @@ def run_pipeline(config: PipelineConfig | None = None,
         graph, result.schedule_result.optimized, config.batch, device,
         iterations=config.profile_iterations, warmup=2,
     )
+    if config.serve_requests > 0 and result.winner_model is not None:
+        result.serve_metrics = serve_winner(
+            result.winner_model, test_set, config.serve_requests
+        )
     return result
+
+
+def serve_winner(model, dataset: ChipDataset, num_requests: int) -> dict:
+    """Smoke the trained winner through the dynamic-batching service.
+
+    Submits ``num_requests`` test chips (cycling the dataset, so repeats
+    exercise the LRU cache) and returns the service metrics snapshot —
+    the deployment-readiness check the Figure 5 flow stops short of.
+    """
+    from .serve import InferenceService
+
+    with InferenceService(model) as service:
+        futures = [
+            service.submit(dataset.images[i % len(dataset)])
+            for i in range(num_requests)
+        ]
+        for future in futures:
+            future.result()
+        return service.metrics.snapshot()

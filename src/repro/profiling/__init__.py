@@ -2,7 +2,13 @@
 
 from .categories import DISPLAY_NAMES, TABLE3_CATEGORIES, display_name
 from .nsys import ApiStat, KernelStat, MemopsStat, ProfileReport, profile_session
-from .report import format_api_table, format_kernel_table, format_memops, format_report
+from .report import (
+    format_api_table,
+    format_kernel_table,
+    format_memops,
+    format_report,
+    rule,
+)
 from .timeline import ascii_gantt, save_chrome_trace, to_chrome_trace
 
 __all__ = [
@@ -14,6 +20,7 @@ __all__ = [
     "MemopsStat",
     "ProfileReport",
     "profile_session",
+    "rule",
     "format_report",
     "format_api_table",
     "format_kernel_table",

@@ -4,10 +4,12 @@ from __future__ import annotations
 
 from .nsys import ProfileReport
 
-__all__ = ["format_report", "format_api_table", "format_kernel_table", "format_memops"]
+__all__ = ["rule", "format_report", "format_api_table", "format_kernel_table",
+           "format_memops"]
 
 
-def _rule(width: int = 78) -> str:
+def rule(width: int = 78) -> str:
+    """Horizontal separator shared by every fixed-width report table."""
     return "-" * width
 
 
@@ -17,7 +19,7 @@ def format_api_table(report: ProfileReport, top: int = 10) -> str:
         "CUDA API Statistics:",
         f"{'Time (%)':>9}  {'Total Time (us)':>16}  {'Num Calls':>10}  "
         f"{'Avg (us)':>12}  Name",
-        _rule(),
+        rule(),
     ]
     for stat in report.api[:top]:
         lines.append(
@@ -32,7 +34,7 @@ def format_kernel_table(report: ProfileReport) -> str:
     lines = [
         "CUDA Kernel Statistics (by category):",
         f"{'Time (%)':>9}  {'Total Time (us)':>16}  {'Instances':>10}  Category",
-        _rule(),
+        rule(),
     ]
     for stat in report.kernels:
         lines.append(
@@ -47,7 +49,7 @@ def format_memops(report: ProfileReport) -> str:
     mem = report.memops
     return "\n".join([
         "CUDA Memory Operation Statistics:",
-        _rule(),
+        rule(),
         f"  total memop time : {mem.total_us:12.1f} us over {mem.count} operations",
         f"  total bytes      : {mem.total_bytes / 1e6:12.1f} MB",
         f"  per-image timing : {mem.per_image_ns:12.0f} ns",

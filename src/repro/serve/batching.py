@@ -1,0 +1,63 @@
+"""Dynamic micro-batching policy.
+
+The batcher coalesces requests until either ``max_batch`` chips are
+waiting or ``max_wait_ms`` has elapsed since the oldest one arrived —
+whichever comes first.  ``max_batch`` is the knee of the paper's Figure 6
+batch-efficiency curve (per-image latency falls steeply then flattens;
+§6.4 picks the last batch size that still improves efficiency by >= 10%),
+so :func:`policy_from_fig6` tunes the batcher straight from the
+regenerated ``results/fig6.json`` artifact.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+__all__ = ["BatchPolicy", "policy_from_fig6"]
+
+_FIG6_PATH = Path(__file__).resolve().parents[3] / "results" / "fig6.json"
+
+
+@dataclass(frozen=True)
+class BatchPolicy:
+    """Knobs of the dynamic batcher.
+
+    max_batch    : dispatch as soon as this many requests are waiting
+    max_wait_ms  : dispatch a partial batch once the oldest waiting
+                   request has aged this long (latency ceiling under
+                   light traffic)
+    """
+
+    max_batch: int = 16
+    max_wait_ms: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        if self.max_wait_ms < 0:
+            raise ValueError("max_wait_ms must be >= 0")
+
+    @property
+    def max_wait_s(self) -> float:
+        return self.max_wait_ms / 1e3
+
+
+def policy_from_fig6(path: str | Path | None = None,
+                     max_wait_ms: float = 2.0) -> BatchPolicy:
+    """Derive a :class:`BatchPolicy` from a Figure 6 results artifact.
+
+    Reads the optimized us/image column, applies the paper's §6.4
+    diminishing-gains rule (:func:`repro.experiments.select_optimal_batch`),
+    and uses the selected batch size as ``max_batch``.
+    """
+    from ..experiments import select_optimal_batch
+
+    artifact = Path(path) if path is not None else _FIG6_PATH
+    payload = json.loads(artifact.read_text())
+    efficiencies = {int(row[0]): float(row[2]) for row in payload["rows"]}
+    if not efficiencies:
+        raise ValueError(f"no batch-efficiency rows in {artifact}")
+    return BatchPolicy(max_batch=select_optimal_batch(efficiencies),
+                       max_wait_ms=max_wait_ms)

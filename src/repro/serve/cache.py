@@ -1,0 +1,78 @@
+"""Content-addressed LRU cache for chip inference results.
+
+Overlapping scene scans re-submit identical tiles (a 50%-overlap sliding
+window visits flat background repeatedly, and adjacent scans share border
+windows).  Keying by chip *content* — not submission order or coordinates
+— lets any repeat hit the cache instead of the model, which is the
+cheapest inference of all.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict
+from typing import Generic, TypeVar
+
+import numpy as np
+
+__all__ = ["chip_key", "LRUCache"]
+
+V = TypeVar("V")
+
+
+def chip_key(chip: np.ndarray) -> str:
+    """Deterministic content hash of one chip (shape + dtype + bytes).
+
+    Shape and dtype are mixed into the digest so a (4, 32, 32) chip can
+    never collide with a reshaped (4, 64, 16) view of the same buffer.
+    """
+    h = hashlib.sha256()
+    h.update(str(chip.shape).encode())
+    h.update(str(chip.dtype).encode())
+    h.update(np.ascontiguousarray(chip).tobytes())
+    return h.hexdigest()
+
+
+class LRUCache(Generic[V]):
+    """Thread-safe least-recently-used cache with hit/miss counters."""
+
+    def __init__(self, capacity: int = 512) -> None:
+        if capacity < 0:
+            raise ValueError("capacity must be >= 0")
+        self.capacity = capacity
+        self._data: OrderedDict[str, V] = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._data)
+
+    def get(self, key: str) -> V | None:
+        with self._lock:
+            if key in self._data:
+                self._data.move_to_end(key)
+                self.hits += 1
+                return self._data[key]
+            self.misses += 1
+            return None
+
+    def put(self, key: str, value: V) -> None:
+        if self.capacity == 0:
+            return
+        with self._lock:
+            self._data[key] = value
+            self._data.move_to_end(key)
+            while len(self._data) > self.capacity:
+                self._data.popitem(last=False)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._data.clear()
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

@@ -1,0 +1,402 @@
+"""Dynamic-batching inference service over a trained detector.
+
+One long-lived :class:`InferenceService` turns the repo's synchronous
+``predict`` loop into a request/response system:
+
+* callers :meth:`~InferenceService.submit` single chips and receive
+  ``concurrent.futures.Future`` objects;
+* a batcher thread coalesces waiting requests into micro-batches
+  (:class:`~repro.serve.batching.BatchPolicy`: dispatch at ``max_batch``
+  or after ``max_wait_ms``, whichever first) and hands them to a worker
+  pool running the model;
+* an LRU cache keyed by chip content hash answers repeat tiles without
+  touching the model;
+* a bounded queue applies backpressure (:class:`QueueFullError`),
+  per-request deadlines expire stale work (:class:`RequestTimeoutError`),
+  and :meth:`~InferenceService.shutdown` drains in-flight requests before
+  the threads exit.
+
+Telemetry lives in a :class:`~repro.serve.metrics.ServiceMetrics`
+registry rendered through the ``repro.profiling`` report conventions.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import Counter, deque
+from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..detect.predict import predict
+from ..detect.sppnet import SPPNetDetector
+from .batching import BatchPolicy
+from .cache import LRUCache, chip_key
+from .metrics import ServiceMetrics
+
+__all__ = [
+    "ServeError",
+    "QueueFullError",
+    "RequestTimeoutError",
+    "ServiceStoppedError",
+    "DetectionResult",
+    "InferenceService",
+]
+
+
+class ServeError(RuntimeError):
+    """Base class for inference-service failures."""
+
+
+class QueueFullError(ServeError):
+    """Raised by submit() when the bounded queue is at capacity."""
+
+
+class RequestTimeoutError(ServeError):
+    """Set on a request future whose deadline expired before dispatch."""
+
+
+class ServiceStoppedError(ServeError):
+    """Raised when submitting to (or pending inside) a stopped service."""
+
+
+@dataclass(frozen=True)
+class DetectionResult:
+    """Per-request model output.
+
+    confidence : crossing probability (softmax class 1)
+    box        : normalized (cx, cy, w, h) in chip coordinates
+    cached     : True when served from the LRU cache
+    batch_size : size of the micro-batch this request rode in (0 if cached)
+    """
+
+    confidence: float
+    box: np.ndarray
+    cached: bool = False
+    batch_size: int = 0
+
+
+class _Pending:
+    """One queued request: chip, future, bookkeeping timestamps."""
+
+    __slots__ = ("chip", "key", "future", "deadline", "enqueued_at")
+
+    def __init__(self, chip: np.ndarray, key: str,
+                 deadline: float | None) -> None:
+        self.chip = chip
+        self.key = key
+        self.future: Future[DetectionResult] = Future()
+        self.deadline = deadline
+        self.enqueued_at = time.monotonic()
+
+    def expired(self, now: float) -> bool:
+        return self.deadline is not None and now >= self.deadline
+
+
+class InferenceService:
+    """Dynamic-batching, caching, metered inference front-end.
+
+    Parameters
+    ----------
+    model       : trained (or untrained) :class:`SPPNetDetector`
+    policy      : batching policy; defaults to ``BatchPolicy()``
+                  (see :func:`~repro.serve.batching.policy_from_fig6`
+                  to tune it from a Figure 6 artifact)
+    max_queue   : bounded-queue capacity; submits beyond it raise
+                  :class:`QueueFullError`
+    cache_size  : LRU entries (0 disables caching)
+    num_workers : model-execution threads; micro-batches from the batcher
+                  fan out across them
+
+    Use as a context manager or call :meth:`shutdown` explicitly —
+    the batcher and workers are non-daemon threads.
+    """
+
+    def __init__(
+        self,
+        model: SPPNetDetector,
+        policy: BatchPolicy | None = None,
+        *,
+        max_queue: int = 1024,
+        cache_size: int = 512,
+        num_workers: int = 1,
+    ) -> None:
+        if max_queue < 1:
+            raise ValueError("max_queue must be >= 1")
+        if num_workers < 1:
+            raise ValueError("num_workers must be >= 1")
+        self.model = model
+        self.policy = policy if policy is not None else BatchPolicy()
+        self.max_queue = max_queue
+        self.cache: LRUCache[DetectionResult] = LRUCache(cache_size)
+        self.metrics = ServiceMetrics()
+
+        self._queue: deque[_Pending] = deque()
+        # O(1) batcher bookkeeping: same-shape counts decide batch
+        # readiness and deadline_count gates the expiry scan, so a wake
+        # never walks the queue in the common (uniform, no-deadline) case
+        self._shape_counts: Counter[tuple] = Counter()
+        self._deadline_count = 0
+        self._cond = threading.Condition()
+        self._stopping = False
+        self._draining = True
+        # At most num_workers batches in flight: the batcher blocks here
+        # instead of spilling into the executor's unbounded work queue,
+        # so max_queue is the real backpressure bound.
+        self._inflight = threading.Semaphore(num_workers)
+        self._pool = ThreadPoolExecutor(
+            max_workers=num_workers, thread_name_prefix="serve-worker"
+        )
+        self._batcher = threading.Thread(
+            target=self._batch_loop, name="serve-batcher"
+        )
+        self._batcher.start()
+
+    # ------------------------------------------------------------------
+    # client surface
+    # ------------------------------------------------------------------
+    def __enter__(self) -> InferenceService:
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+    def submit(self, chip: np.ndarray,
+               timeout_s: float | None = None) -> Future[DetectionResult]:
+        """Queue one (C, H, W) chip; returns a future of DetectionResult.
+
+        ``timeout_s`` is a dispatch deadline: if the request is still
+        queued when it expires, its future fails with
+        :class:`RequestTimeoutError`.  Raises :class:`QueueFullError`
+        immediately when the bounded queue is at capacity and
+        :class:`ServiceStoppedError` after shutdown began.
+        """
+        if chip.ndim != 3:
+            raise ValueError(f"expected one (C, H, W) chip, got shape {chip.shape}")
+        self.metrics.submitted.inc()
+
+        key = chip_key(chip) if self.cache.capacity else ""
+        if self.cache.capacity:
+            hit = self.cache.get(key)
+            if hit is not None:
+                self.metrics.cache_hits.inc()
+                self.metrics.completed.inc()
+                self.metrics.latency_ms.observe(0.0)
+                future: Future[DetectionResult] = Future()
+                future.set_result(
+                    DetectionResult(hit.confidence, hit.box, cached=True)
+                )
+                return future
+            self.metrics.cache_misses.inc()
+
+        deadline = time.monotonic() + timeout_s if timeout_s is not None else None
+        pending = _Pending(np.asarray(chip, dtype=np.float32), key, deadline)
+        with self._cond:
+            if self._stopping:
+                self.metrics.rejected.inc()
+                raise ServiceStoppedError("service is shut down")
+            if len(self._queue) >= self.max_queue:
+                self.metrics.rejected.inc()
+                raise QueueFullError(
+                    f"queue full ({self.max_queue} requests waiting)"
+                )
+            self._queue.append(pending)
+            self._shape_counts[pending.chip.shape] += 1
+            if pending.deadline is not None:
+                self._deadline_count += 1
+            self.metrics.queue_depth.set(len(self._queue))
+            self._cond.notify()
+        return pending.future
+
+    def submit_many(self, chips: np.ndarray | list[np.ndarray],
+                    timeout_s: float | None = None) -> list[Future[DetectionResult]]:
+        """Submit a stack of chips; returns one future per chip."""
+        return [self.submit(chip, timeout_s=timeout_s) for chip in chips]
+
+    def shutdown(self, drain: bool = True, timeout_s: float | None = None) -> None:
+        """Stop the service.
+
+        With ``drain=True`` (default) already-queued requests are still
+        batched and completed; with ``drain=False`` they fail with
+        :class:`ServiceStoppedError`.  New submits are rejected either
+        way.  Idempotent.
+        """
+        with self._cond:
+            self._stopping = True
+            self._draining = drain
+            self._cond.notify_all()
+        self._batcher.join(timeout=timeout_s)
+        self._pool.shutdown(wait=True)
+
+    @property
+    def queue_depth(self) -> int:
+        with self._cond:
+            return len(self._queue)
+
+    # ------------------------------------------------------------------
+    # batcher + workers
+    # ------------------------------------------------------------------
+    def _batch_loop(self) -> None:
+        while True:
+            batch = self._next_batch()
+            if batch is None:
+                break
+            if not self._dispatch(batch):
+                break
+        # fail leftovers on non-draining shutdown
+        with self._cond:
+            leftovers = list(self._queue)
+            self._queue.clear()
+            self._shape_counts.clear()
+            self._deadline_count = 0
+            self.metrics.queue_depth.set(0)
+        for pending in leftovers:
+            pending.future.set_exception(
+                ServiceStoppedError("service shut down before dispatch")
+            )
+
+    def _dispatch(self, batch: list[_Pending]) -> bool:
+        """Hand one batch to the worker pool, blocking while all workers
+        are busy.  Returns False when a non-draining shutdown interrupts
+        the wait (the batch is failed, the batcher should exit)."""
+        while not self._inflight.acquire(timeout=0.05):
+            with self._cond:
+                abort = self._stopping and not self._draining
+            if abort:
+                for pending in batch:
+                    pending.future.set_exception(
+                        ServiceStoppedError("service shut down before dispatch")
+                    )
+                return False
+        self._pool.submit(self._run_batch, batch)
+        return True
+
+    def _next_batch(self) -> list[_Pending] | None:
+        """Block until a micro-batch is ready (or the service stops).
+
+        Returns None to terminate the batcher.  Coalescing rule: wait for
+        the first request, then keep gathering until ``max_batch`` chips
+        of the *same spatial shape* are waiting or ``max_wait_ms`` has
+        elapsed since that first request arrived.  Expired requests are
+        timed out here, at dispatch, so a timeout never needs its own
+        timer thread.
+        """
+        policy = self.policy
+        with self._cond:
+            while True:
+                self._expire_locked()
+                if self._queue:
+                    break
+                if self._stopping:
+                    return None
+                self._cond.wait(timeout=0.05)
+
+            flush_at = self._queue[0].enqueued_at + policy.max_wait_s
+            while True:
+                self._expire_locked()
+                if not self._queue:
+                    if self._stopping:
+                        return None
+                    self._cond.wait(timeout=0.05)
+                    continue
+                shape = self._queue[0].chip.shape
+                ready = self._shape_counts[shape]
+                now = time.monotonic()
+                if (ready >= policy.max_batch or now >= flush_at
+                        or (self._stopping and self._draining)):
+                    return self._take_batch_locked(shape, policy.max_batch)
+                if self._stopping and not self._draining:
+                    return None
+                # wake at the flush point or the nearest request deadline,
+                # whichever comes first, so timeouts fire promptly
+                wake_at = flush_at
+                if self._deadline_count:
+                    for pending in self._queue:
+                        if pending.deadline is not None:
+                            wake_at = min(wake_at, pending.deadline)
+                self._cond.wait(timeout=max(wake_at - now, 1e-4))
+
+    def _take_batch_locked(self, shape: tuple, limit: int) -> list[_Pending]:
+        """Pop up to ``limit`` same-shaped requests (SPP accepts any chip
+        size, but one stacked batch must share H and W)."""
+        batch: list[_Pending] = []
+        skipped: deque[_Pending] = deque()
+        while self._queue and len(batch) < limit:
+            pending = self._queue.popleft()
+            if pending.chip.shape == shape:
+                batch.append(pending)
+            else:
+                skipped.append(pending)
+        self._queue.extendleft(reversed(skipped))
+        self._shape_counts[shape] -= len(batch)
+        if not self._shape_counts[shape]:
+            del self._shape_counts[shape]
+        self._deadline_count -= sum(1 for p in batch if p.deadline is not None)
+        self.metrics.queue_depth.set(len(self._queue))
+        return batch
+
+    def _expire_locked(self) -> None:
+        if not self._deadline_count:
+            return
+        now = time.monotonic()
+        alive: deque[_Pending] = deque()
+        for pending in self._queue:
+            if pending.expired(now):
+                self.metrics.timeouts.inc()
+                self._deadline_count -= 1
+                self._shape_counts[pending.chip.shape] -= 1
+                if not self._shape_counts[pending.chip.shape]:
+                    del self._shape_counts[pending.chip.shape]
+                pending.future.set_exception(RequestTimeoutError(
+                    f"request waited {now - pending.enqueued_at:.3f}s, "
+                    "deadline passed before dispatch"
+                ))
+            else:
+                alive.append(pending)
+        if len(alive) != len(self._queue):
+            self._queue.clear()
+            self._queue.extend(alive)
+            self.metrics.queue_depth.set(len(self._queue))
+
+    def _run_batch(self, batch: list[_Pending]) -> None:
+        try:
+            started = time.monotonic()
+            # a batch can out-wait its deadline behind busy workers, so
+            # expire again at the moment work actually starts
+            live: list[_Pending] = []
+            for pending in batch:
+                if pending.expired(started):
+                    self.metrics.timeouts.inc()
+                    pending.future.set_exception(RequestTimeoutError(
+                        f"request waited {started - pending.enqueued_at:.3f}s, "
+                        "deadline passed before inference"
+                    ))
+                else:
+                    live.append(pending)
+            batch = live
+            if not batch:
+                return
+            try:
+                stack = np.stack([p.chip for p in batch])
+                confidences, boxes = predict(
+                    self.model, stack, batch_size=len(batch)
+                )
+            except BaseException as exc:  # propagate to every waiting caller
+                for pending in batch:
+                    if not pending.future.done():
+                        pending.future.set_exception(exc)
+                return
+            now = time.monotonic()
+            self.metrics.observe_batch(len(batch), (now - started) * 1e3)
+            for pending, conf, box in zip(batch, confidences, boxes):
+                result = DetectionResult(
+                    float(conf), box.copy(), cached=False, batch_size=len(batch)
+                )
+                self.cache.put(pending.key, result)
+                self.metrics.completed.inc()
+                self.metrics.latency_ms.observe((now - pending.enqueued_at) * 1e3)
+                pending.future.set_result(result)
+        finally:
+            self._inflight.release()

@@ -302,13 +302,15 @@ class Tensor:
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
                 if other.data.ndim == 1:
-                    g = np.outer(grad, other.data) if grad.ndim == 1 else grad[..., None] * other.data
+                    g = (np.outer(grad, other.data) if grad.ndim == 1
+                         else grad[..., None] * other.data)
                 else:
                     g = grad @ np.swapaxes(other.data, -1, -2)
                 self._accumulate(unbroadcast(np.asarray(g), self.shape))
             if other.requires_grad:
                 if self.data.ndim == 1:
-                    g = np.outer(self.data, grad) if grad.ndim == 1 else self.data[..., None] @ grad[..., None, :]
+                    g = (np.outer(self.data, grad) if grad.ndim == 1
+                         else self.data[..., None] @ grad[..., None, :])
                 else:
                     g = np.swapaxes(self.data, -1, -2) @ grad
                 other._accumulate(unbroadcast(np.asarray(g), other.shape))

@@ -1,12 +1,14 @@
 """Full-scene scanning detection and NMS."""
 
-import numpy as np
+import json
+
 import pytest
 
 from repro.detect import (
     SceneDetection,
     evaluate_scene_detections,
     non_max_suppression,
+    scan_origins,
     scan_scene,
 )
 from repro.geo import Crossing, WatershedConfig, build_scene
@@ -39,6 +41,23 @@ class TestNMS:
             [det(0, 0, 0.9), det(0, 9, 0.8), det(0, 18, 0.7)], radius=10
         )
         assert [k.confidence for k in kept] == [0.9, 0.7]
+
+    def test_confidence_ties_keep_one(self):
+        """Equal-confidence neighbors: exactly one survives (stable
+        greedy pass, no mutual suppression dropping both)."""
+        kept = non_max_suppression([det(10, 10, 0.8), det(12, 12, 0.8)],
+                                   radius=10)
+        assert len(kept) == 1 and kept[0].confidence == 0.8
+
+    def test_distance_exactly_radius_is_suppressed(self):
+        """Boundary pin: survival requires distance strictly greater
+        than radius, so distance == radius is still suppressed."""
+        kept = non_max_suppression([det(0, 0, 0.9), det(0, 10, 0.8)],
+                                   radius=10)
+        assert len(kept) == 1
+        kept = non_max_suppression([det(0, 0, 0.9), det(0, 10.001, 0.8)],
+                                   radius=10)
+        assert len(kept) == 2
 
 
 class TestEvaluate:
@@ -80,7 +99,44 @@ class TestEvaluate:
     def test_empty_cases(self):
         scores = evaluate_scene_detections([], self.gts())
         assert scores.recall == 0.0 and scores.precision == 0.0
-        assert np.isnan(scores.mean_center_error)
+        assert scores.mean_center_error == 0.0
+
+    def test_zero_matches_serializes_to_valid_json(self):
+        """No-match scores must round-trip through strict JSON — the
+        spec has no NaN literal, so mean_center_error is 0.0, never NaN."""
+        scores = evaluate_scene_detections([det(100, 100, 0.9)], self.gts())
+        assert scores.true_positives == 0
+        payload = json.dumps({"mean_center_error": scores.mean_center_error},
+                             allow_nan=False)
+        assert json.loads(payload)["mean_center_error"] == 0.0
+
+
+class TestScanOrigins:
+    def test_exact_multiple(self):
+        origins = scan_origins(192, 64, 64)
+        rows = sorted({r for r, _ in origins})
+        assert rows == [0, 64, 128]
+
+    def test_remainder_stride_appends_final_origin(self):
+        """size - window not a multiple of stride: the trailing origin
+        still reaches the scene edge and no origin is duplicated."""
+        origins = scan_origins(100, 30, 25)  # size-window = 70, stride 25
+        rows = sorted({r for r, _ in origins})
+        assert rows == [0, 25, 50, 70]
+        assert len(origins) == len(set(origins))
+        covered = set()
+        for r, _ in origins:
+            covered.update(range(r, r + 30))
+        assert covered == set(range(100))
+
+    def test_window_equals_scene(self):
+        assert scan_origins(64, 64, 50) == [(0, 0)]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            scan_origins(64, 100, 10)
+        with pytest.raises(ValueError):
+            scan_origins(64, 32, 0)
 
 
 class TestScanScene:
@@ -115,3 +171,29 @@ class TestScanScene:
         )
         with pytest.raises(ValueError):
             scan_scene(SPPNetDetector(arch), scene, window=1000)
+
+    def test_service_path_matches_local_predict(self, scene):
+        """scan_scene(service=...) returns the same detections as the
+        direct predict path, modulo float order — same windows, same
+        model, one goes through the batcher."""
+        from repro.arch import ConvSpec, PoolSpec, SPPNetConfig
+        from repro.detect import SPPNetDetector
+        from repro.serve import BatchPolicy, InferenceService
+
+        arch = SPPNetConfig(
+            convs=(ConvSpec(8, 3, 1), ConvSpec(16, 3, 1)),
+            pools=(PoolSpec(2, 2), PoolSpec(2, 2)),
+            spp_levels=(2, 1), fc_sizes=(32,), name="scan-serve",
+        )
+        model = SPPNetDetector(arch, seed=0)
+        kwargs = dict(window=64, stride=48, confidence_threshold=0.5)
+        local = scan_scene(model, scene, **kwargs)
+        with InferenceService(model, BatchPolicy(max_batch=8,
+                                                 max_wait_ms=5.0)) as service:
+            served = scan_scene(model, scene, service=service, **kwargs)
+            assert service.metrics.completed.value > 0
+        assert len(local) == len(served)
+        for a, b in zip(sorted(local, key=lambda d: d.center),
+                        sorted(served, key=lambda d: d.center)):
+            assert a.center == b.center
+            assert a.confidence == pytest.approx(b.confidence, abs=1e-6)

@@ -2,10 +2,9 @@
 
 import pytest
 
-from repro.arch import TABLE1_MODELS, SPPNetConfig
+from repro.arch import TABLE1_MODELS
 from repro.graph import (
     GraphError,
-    OpType,
     activation_bytes,
     build_inception_graph,
     build_sppnet_graph,

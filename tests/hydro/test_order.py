@@ -57,7 +57,7 @@ class TestStrahler:
         direction[1, 3] = 7
         direction[3, 3] = 1
         direction[2, 4:n - 1] = 0
-        direction[5, 4] = 2  # a single order-1 donor from the south... 
+        direction[5, 4] = 2  # a single order-1 donor from the south...
         # route (5,4) north over several cells into (3,4)? keep simple:
         mask = np.zeros((n, n), dtype=bool)
         mask[1, :4] = mask[3, :4] = True

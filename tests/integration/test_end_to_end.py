@@ -13,6 +13,9 @@ from repro.hydro import (
     priority_flood_fill,
 )
 
+
+pytestmark = pytest.mark.slow  # minutes-scale training/pipeline runs
+
 SMALL_ARCH = SPPNetConfig(
     convs=(ConvSpec(8, 3, 1), ConvSpec(16, 3, 1), ConvSpec(32, 3, 1)),
     pools=(PoolSpec(2, 2), PoolSpec(2, 2), PoolSpec(2, 2)),
@@ -90,10 +93,15 @@ class TestHydroOnScene:
 
         result = run_pipeline(PipelineConfig(
             num_scenes=1, chips_per_crossing=1, nas_trials=1, train_epochs=1,
-            accuracy_threshold=-1.0, profile_iterations=5,
+            accuracy_threshold=-1.0, profile_iterations=5, serve_requests=8,
         ))
         assert result.winner_config is not None
+        assert result.winner_model is not None
         assert result.schedule_result is not None
         assert result.schedule_result.speedup > 1.0
         assert result.profile is not None
         assert result.profile.peak_memory_bytes > 0
+        # serving smoke: every request answered, repeats hit the cache
+        assert result.serve_metrics is not None
+        assert result.serve_metrics["completed"] == 8
+        assert result.serve_metrics["rejected"] == 0

@@ -26,6 +26,7 @@ class TestExamples:
         assert ast.get_docstring(tree), f"{path.name} missing module docstring"
         assert 'if __name__ == "__main__":' in path.read_text()
 
+    @pytest.mark.slow  # one subprocess per example script
     def test_help_exits_cleanly(self, path):
         result = subprocess.run(
             [sys.executable, str(path), "--help"],

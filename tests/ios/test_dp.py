@@ -1,13 +1,11 @@
 """IOS dynamic program: validity, optimality vs brute force, behavior."""
 
-import itertools
-
 import numpy as np
 import pytest
 
 from repro.arch import TABLE1_MODELS
 from repro.graph import Graph, Operator, OpType, build_inception_graph, build_sppnet_graph
-from repro.gpusim import RTX_A5500, KernelCostModel, validate_stages
+from repro.gpusim import validate_stages
 from repro.gpusim.executor import plan_stage
 from repro.ios import (
     DPScheduler,

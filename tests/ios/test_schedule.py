@@ -3,7 +3,7 @@
 import pytest
 
 from repro.arch import TABLE1_MODELS
-from repro.graph import Graph, Operator, OpType, build_sppnet_graph
+from repro.graph import build_sppnet_graph
 from repro.ios import Group, Schedule, Stage, groups_from_ops
 
 

@@ -1,6 +1,5 @@
 """Pareto-front analysis of the dual objective."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st

@@ -1,0 +1,71 @@
+"""Content-hash LRU cache semantics."""
+
+import numpy as np
+import pytest
+
+from repro.serve import LRUCache, chip_key
+
+
+class TestChipKey:
+    def test_deterministic(self):
+        chip = np.arange(12, dtype=np.float32).reshape(3, 2, 2)
+        assert chip_key(chip) == chip_key(chip.copy())
+
+    def test_content_sensitive(self):
+        chip = np.zeros((3, 2, 2), dtype=np.float32)
+        other = chip.copy()
+        other[0, 0, 0] = 1.0
+        assert chip_key(chip) != chip_key(other)
+
+    def test_shape_mixed_into_digest(self):
+        """Same bytes, different layout must not collide."""
+        flat = np.arange(16, dtype=np.float32)
+        assert chip_key(flat.reshape(4, 2, 2)) != chip_key(flat.reshape(1, 4, 4))
+
+    def test_dtype_mixed_into_digest(self):
+        zeros32 = np.zeros((1, 2, 2), dtype=np.float32)
+        zeros64 = np.zeros((1, 1, 2), dtype=np.float64)  # identical bytes
+        assert chip_key(zeros32) != chip_key(zeros64)
+
+    def test_non_contiguous_view(self):
+        chip = np.arange(32, dtype=np.float32).reshape(2, 4, 4)
+        view = chip[:, ::2, ::2]
+        assert chip_key(view) == chip_key(np.ascontiguousarray(view))
+
+
+class TestLRUCache:
+    def test_put_get_roundtrip(self):
+        cache = LRUCache(capacity=4)
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+        assert cache.hits == 1 and cache.misses == 0
+
+    def test_miss_counted(self):
+        cache = LRUCache(capacity=4)
+        assert cache.get("nope") is None
+        assert cache.misses == 1
+        assert cache.hit_rate == 0.0
+
+    def test_evicts_least_recently_used(self):
+        cache = LRUCache(capacity=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")        # refresh a; b is now LRU
+        cache.put("c", 3)
+        assert cache.get("b") is None
+        assert cache.get("a") == 1 and cache.get("c") == 3
+
+    def test_capacity_zero_disables(self):
+        cache = LRUCache(capacity=0)
+        cache.put("a", 1)
+        assert len(cache) == 0 and cache.get("a") is None
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            LRUCache(capacity=-1)
+
+    def test_overwrite_same_key(self):
+        cache = LRUCache(capacity=2)
+        cache.put("a", 1)
+        cache.put("a", 2)
+        assert cache.get("a") == 2 and len(cache) == 1

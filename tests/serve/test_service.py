@@ -1,0 +1,234 @@
+"""Inference service behavior: batching, caching, backpressure, timeouts,
+shutdown semantics.
+
+Uses a deliberately tiny SPP-Net so each micro-batch costs ~1 ms, and a
+sleep-wrapped model where the tests need the worker pool to stay busy.
+"""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.arch import ConvSpec, PoolSpec, SPPNetConfig
+from repro.detect import SPPNetDetector, predict
+from repro.serve import (
+    BatchPolicy,
+    InferenceService,
+    QueueFullError,
+    RequestTimeoutError,
+    ServiceStoppedError,
+)
+
+ARCH = SPPNetConfig(
+    convs=(ConvSpec(8, 3, 1),), pools=(PoolSpec(2, 2),),
+    spp_levels=(2, 1), fc_sizes=(32,), name="serve-test",
+)
+
+
+@pytest.fixture(scope="module")
+def model():
+    return SPPNetDetector(ARCH, seed=0)
+
+
+class SlowModel:
+    """Delegates to a real detector after a fixed sleep, to keep the
+    worker pool occupied while tests fill the queue."""
+
+    def __init__(self, model, delay_s: float) -> None:
+        self._model = model
+        self.delay_s = delay_s
+
+    def __call__(self, x):
+        time.sleep(self.delay_s)
+        return self._model(x)
+
+    def __getattr__(self, name):
+        return getattr(self._model, name)
+
+
+def chips(n, size=24, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.normal(size=(n, 4, size, size)).astype(np.float32)
+
+
+class TestBatchingCore:
+    def test_results_match_direct_predict(self, model):
+        batch = chips(12)
+        conf, boxes = predict(model, batch, batch_size=12)
+        with InferenceService(model, BatchPolicy(max_batch=4,
+                                                 max_wait_ms=2.0)) as svc:
+            results = [f.result(timeout=10) for f in svc.submit_many(batch)]
+        for i, res in enumerate(results):
+            assert res.confidence == pytest.approx(float(conf[i]), abs=1e-6)
+            np.testing.assert_allclose(res.box, boxes[i], atol=1e-6)
+
+    def test_requests_are_coalesced(self, model):
+        """A burst larger than max_batch dispatches in micro-batches, not
+        one request at a time."""
+        with InferenceService(model, BatchPolicy(max_batch=8,
+                                                 max_wait_ms=50.0)) as svc:
+            futures = svc.submit_many(chips(16))
+            for f in futures:
+                f.result(timeout=10)
+            hist = svc.metrics.batch_size_histogram
+        assert max(hist) > 1
+        assert sum(size * n for size, n in hist.items()) == 16
+
+    def test_max_wait_flushes_partial_batch(self, model):
+        """A lone request must not wait for a full batch."""
+        with InferenceService(model, BatchPolicy(max_batch=64,
+                                                 max_wait_ms=10.0)) as svc:
+            result = svc.submit(chips(1)[0]).result(timeout=10)
+        assert result.batch_size == 1
+
+    def test_mixed_shapes_batched_separately(self, model):
+        """SPP accepts any chip size, but one stacked batch must share a
+        spatial shape — mixed submissions still all complete."""
+        small, large = chips(3, size=24), chips(3, size=32)
+        with InferenceService(model, BatchPolicy(max_batch=8,
+                                                 max_wait_ms=5.0)) as svc:
+            futures = svc.submit_many([*small, *large])
+            results = [f.result(timeout=10) for f in futures]
+        assert len(results) == 6
+
+    def test_invalid_chip_rejected(self, model):
+        with InferenceService(model) as svc:
+            with pytest.raises(ValueError):
+                svc.submit(np.zeros((4, 24, 24, 1), dtype=np.float32))
+
+
+class TestCaching:
+    def test_repeat_chip_hits_cache(self, model):
+        batch = chips(4)
+        with InferenceService(model, BatchPolicy(max_batch=4,
+                                                 max_wait_ms=2.0)) as svc:
+            first = [f.result(timeout=10) for f in svc.submit_many(batch)]
+            again = [f.result(timeout=10) for f in svc.submit_many(batch)]
+            assert svc.metrics.cache_hits.value == 4
+        assert not any(r.cached for r in first)
+        assert all(r.cached for r in again)
+        for a, b in zip(first, again):
+            assert a.confidence == b.confidence
+
+    def test_cache_disabled(self, model):
+        batch = chips(2)
+        with InferenceService(model, cache_size=0) as svc:
+            [f.result(timeout=10) for f in svc.submit_many(batch)]
+            results = [f.result(timeout=10) for f in svc.submit_many(batch)]
+            assert svc.metrics.cache_hits.value == 0
+        assert not any(r.cached for r in results)
+
+
+class TestTimeout:
+    def test_request_timeout_expires_queued_request(self, model):
+        """A deadline shorter than the batcher's flush window fails the
+        future with RequestTimeoutError instead of serving stale work."""
+        slow = SlowModel(model, delay_s=0.3)
+        with InferenceService(slow, BatchPolicy(max_batch=1,
+                                                max_wait_ms=0.0),
+                              num_workers=1) as svc:
+            # occupy the single worker, then queue a request that expires
+            # while it waits behind the slow batch
+            blocker = svc.submit(chips(1, seed=1)[0])
+            doomed = svc.submit(chips(1, seed=2)[0], timeout_s=0.05)
+            with pytest.raises(RequestTimeoutError):
+                doomed.result(timeout=10)
+            blocker.result(timeout=10)  # unaffected by its neighbor
+            assert svc.metrics.timeouts.value == 1
+
+    def test_no_timeout_without_deadline(self, model):
+        slow = SlowModel(model, delay_s=0.1)
+        with InferenceService(slow, BatchPolicy(max_batch=1,
+                                                max_wait_ms=0.0)) as svc:
+            futures = svc.submit_many(chips(3))
+            for f in futures:
+                f.result(timeout=10)
+            assert svc.metrics.timeouts.value == 0
+
+
+class TestBackpressure:
+    def test_full_queue_rejects_submit(self, model):
+        """With the single worker pinned and the queue bounded, excess
+        submissions fail fast with QueueFullError."""
+        slow = SlowModel(model, delay_s=0.5)
+        svc = InferenceService(slow, BatchPolicy(max_batch=1, max_wait_ms=0.0),
+                               max_queue=2, num_workers=1)
+        try:
+            accepted = []
+            with pytest.raises(QueueFullError):
+                for i in range(16):
+                    accepted.append(svc.submit(chips(1, seed=i)[0]))
+            assert svc.metrics.rejected.value >= 1
+            # accepted work is unaffected by the rejections
+            for f in accepted:
+                f.result(timeout=30)
+        finally:
+            svc.shutdown()
+
+    def test_queue_capacity_validated(self, model):
+        with pytest.raises(ValueError):
+            InferenceService(model, max_queue=0)
+
+
+class TestShutdown:
+    def test_shutdown_drains_inflight_work(self, model):
+        """Default shutdown completes every already-submitted request."""
+        slow = SlowModel(model, delay_s=0.05)
+        svc = InferenceService(slow, BatchPolicy(max_batch=4, max_wait_ms=50.0))
+        futures = svc.submit_many(chips(10))
+        svc.shutdown()  # drain=True
+        results = [f.result(timeout=0) for f in futures]  # already resolved
+        assert len(results) == 10
+        assert svc.metrics.completed.value == 10
+
+    def test_submit_after_shutdown_rejected(self, model):
+        svc = InferenceService(model)
+        svc.shutdown()
+        with pytest.raises(ServiceStoppedError):
+            svc.submit(chips(1)[0])
+
+    def test_abort_fails_undispatched_requests(self, model):
+        """drain=False fails queued work instead of running it."""
+        slow = SlowModel(model, delay_s=0.3)
+        svc = InferenceService(slow, BatchPolicy(max_batch=1, max_wait_ms=0.0),
+                               num_workers=1)
+        futures = svc.submit_many(chips(6))
+        time.sleep(0.05)  # let the first batch reach the worker
+        svc.shutdown(drain=False)
+        outcomes = []
+        for f in futures:
+            try:
+                f.result(timeout=10)
+                outcomes.append("ok")
+            except ServiceStoppedError:
+                outcomes.append("stopped")
+        assert "ok" in outcomes and "stopped" in outcomes
+
+    def test_shutdown_idempotent(self, model):
+        svc = InferenceService(model)
+        svc.shutdown()
+        svc.shutdown()
+
+    def test_concurrent_submitters(self, model):
+        """Many client threads sharing one service all get answers."""
+        results = []
+        errors = []
+        with InferenceService(model, BatchPolicy(max_batch=8,
+                                                 max_wait_ms=2.0)) as svc:
+            def client(seed):
+                try:
+                    futs = svc.submit_many(chips(4, seed=seed))
+                    results.extend(f.result(timeout=30) for f in futs)
+                except Exception as exc:  # pragma: no cover - diagnostic
+                    errors.append(exc)
+
+            threads = [threading.Thread(target=client, args=(s,))
+                       for s in range(6)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        assert not errors
+        assert len(results) == 24

@@ -1,7 +1,6 @@
 """Fuzz the autograd ops against plain NumPy reference computations."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
