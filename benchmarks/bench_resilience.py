@@ -1,0 +1,188 @@
+"""Resilience gate: faulty sweeps finish, degraded serving stays up.
+
+Two scenarios, both with deterministic injected faults (``repro.faults``):
+
+1. **NAS sweep under 20% trial failures** — a ``ParallelExperiment``
+   whose evaluator fails 20% of calls must still complete every trial
+   (retry + quarantine) and pick the same winner as the fault-free sweep
+   with the same seed.  This is the CI gate.
+2. **Serving through a worker outage** — an ``InferenceService`` whose
+   model workers fail hard must trip the circuit breaker, keep answering
+   cached chips in degraded mode, and recover via the half-open probe.
+
+Emits ``BENCH_resilience.json`` so fault-tolerance telemetry is recorded
+run over run.
+
+Usage::
+
+    python benchmarks/bench_resilience.py [--trials N] [--rate R] [--out PATH]
+
+Also collectable by pytest (``pytest benchmarks/bench_resilience.py``).
+"""
+
+import argparse
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.arch import ConvSpec, PoolSpec, SPPNetConfig
+from repro.detect import SPPNetDetector, predict
+from repro.faults import FailFirst, Flaky, InjectedFault
+from repro.nas import (
+    FunctionalEvaluator,
+    ParallelExperiment,
+    RetryPolicy,
+    sppnet_search_space,
+)
+from repro.serve import BatchPolicy, BreakerPolicy, InferenceService
+
+ARCH = SPPNetConfig(
+    convs=(ConvSpec(8, 3, 1),), pools=(PoolSpec(2, 2),),
+    spp_levels=(2, 1), fc_sizes=(32,), name="resilience-bench",
+)
+
+
+def objective(sample) -> float:
+    """Cheap deterministic stand-in for trial training."""
+    return sample["fc_width"] / 8192 + sample["spp_first_level"] / 100
+
+
+def run_nas_scenario(max_trials: int = 16, rate: float = 0.2,
+                     seed: int = 4) -> dict:
+    clean = ParallelExperiment(
+        sppnet_search_space(), FunctionalEvaluator(objective),
+        max_trials=max_trials, workers=4, seed=seed)
+    clean.run()
+
+    # 6 attempts: P(a trial exhausting them at rate 0.2) ~ 6e-5
+    flaky = Flaky(objective, rate=rate, seed=17)
+    start = time.perf_counter()
+    faulty = ParallelExperiment(
+        sppnet_search_space(), FunctionalEvaluator(flaky),
+        max_trials=max_trials, workers=4, seed=seed,
+        retry_policy=RetryPolicy(max_attempts=6, backoff_s=0.001,
+                                 max_backoff_s=0.01))
+    faulty.run()
+    elapsed = time.perf_counter() - start
+
+    winner_match = (clean.best().sample == faulty.best().sample)
+    return {
+        "max_trials": max_trials,
+        "injected_failure_rate": rate,
+        "evaluator_calls": flaky.calls,
+        "injected_faults": flaky.faults,
+        "completed_trials": len(faulty.trials),
+        "quarantined_trials": len(faulty.failed()),
+        "retried_trials": sum(1 for t in faulty.trials if t.attempts > 1),
+        "winner_matches_fault_free": winner_match,
+        "sweep_wall_clock_s": elapsed,
+    }
+
+
+def run_serve_scenario() -> dict:
+    model = SPPNetDetector(ARCH, seed=0)
+    rng = np.random.default_rng(0)
+    chips = rng.normal(size=(8, 4, 24, 24)).astype(np.float32)
+    fn = FailFirst(predict, 0)
+    breaker = BreakerPolicy(failure_threshold=2, reset_timeout_s=0.05)
+    outage_failures = 0
+    degraded_hit = degraded_miss = False
+
+    with InferenceService(model, BatchPolicy(max_batch=4, max_wait_ms=1.0),
+                          predict_fn=fn, max_batch_retries=0,
+                          breaker=breaker) as service:
+        service.submit(chips[0]).result(timeout=10)  # healthy + cached
+
+        fn.calls, fn.n = 0, 2  # outage: the next two batches fail
+        for chip in chips[1:3]:
+            try:
+                service.submit(chip).result(timeout=10)
+            except InjectedFault:
+                outage_failures += 1
+
+        try:  # degraded mode: cached chip answered, uncached fails fast
+            degraded_hit = service.submit(chips[0]).result(timeout=10).cached
+        except Exception:
+            pass
+        try:
+            service.submit(chips[3]).result(timeout=10)
+        except Exception:
+            degraded_miss = True
+
+        time.sleep(0.08)  # past reset timeout -> half-open probe succeeds
+        recovered = service.submit(chips[4]).result(timeout=10)
+        snapshot = service.metrics.snapshot()
+
+    return {
+        "outage_failures": outage_failures,
+        "degraded_cache_hit_served": bool(degraded_hit),
+        "degraded_miss_failed_fast": degraded_miss,
+        "recovered_confidence": float(recovered.confidence),
+        "metrics": snapshot,
+    }
+
+
+def run_benchmark(max_trials: int = 16, rate: float = 0.2) -> dict:
+    return {
+        "benchmark": "resilience",
+        "nas": run_nas_scenario(max_trials=max_trials, rate=rate),
+        "serve": run_serve_scenario(),
+    }
+
+
+def test_faulty_sweep_completes_and_matches_fault_free_winner():
+    """Acceptance: 20% injected trial failures — every trial completes
+    (retried or quarantined) and best() matches the fault-free winner."""
+    payload = run_nas_scenario(max_trials=16, rate=0.2)
+    assert payload["injected_faults"] > 0
+    assert payload["completed_trials"] == payload["max_trials"]
+    assert payload["winner_matches_fault_free"]
+
+
+def test_service_survives_worker_outage():
+    """Acceptance: breaker trips, degraded mode serves the cache, and the
+    half-open probe recovers — all visible in the metrics snapshot."""
+    payload = run_serve_scenario()
+    metrics = payload["metrics"]
+    assert payload["degraded_cache_hit_served"]
+    assert payload["degraded_miss_failed_fast"]
+    assert metrics["breaker_state"] == "closed"
+    assert metrics["breaker_transitions"].get("closed->open") == 1
+    assert metrics["breaker_transitions"].get("half_open->closed") == 1
+    assert metrics["degraded_served"] >= 1
+    assert metrics["degraded_rejected"] >= 1
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--trials", type=int, default=16,
+                        help="NAS trial budget per sweep")
+    parser.add_argument("--rate", type=float, default=0.2,
+                        help="injected per-call evaluator failure rate")
+    parser.add_argument("--out", type=Path, default=Path("BENCH_resilience.json"))
+    args = parser.parse_args()
+
+    payload = run_benchmark(max_trials=args.trials, rate=args.rate)
+    args.out.write_text(json.dumps(payload, indent=2) + "\n")
+
+    nas = payload["nas"]
+    serve = payload["serve"]["metrics"]
+    print(f"NAS sweep : {nas['completed_trials']}/{nas['max_trials']} trials "
+          f"({nas['injected_faults']} faults injected, "
+          f"{nas['retried_trials']} retried, "
+          f"{nas['quarantined_trials']} quarantined)")
+    print(f"winner matches fault-free: {nas['winner_matches_fault_free']}")
+    print(f"serving   : breaker {serve['breaker_state']} after "
+          f"{serve['worker_failures']} worker failures; "
+          f"degraded served={serve['degraded_served']} "
+          f"rejected={serve['degraded_rejected']}")
+    print(f"-> {args.out}")
+    if not (nas["winner_matches_fault_free"]
+            and nas["completed_trials"] == nas["max_trials"]):
+        raise SystemExit("FAIL: faulty sweep did not match the fault-free run")
+
+
+if __name__ == "__main__":
+    main()

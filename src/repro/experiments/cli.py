@@ -44,7 +44,40 @@ def _table1(args) -> ExperimentResult:
     return run_table1(settings, verbose=args.verbose)
 
 
+def _pipeline(args) -> ExperimentResult:
+    """End-to-end Figure 5 pipeline with journaled, resumable NAS trials."""
+    from ..pipeline import PipelineConfig, run_pipeline
+
+    config = PipelineConfig(
+        nas_trials=2 if args.fast else 3,
+        train_epochs=1 if args.fast else 3,
+        # CI-sized training never clears the real constraint; keep the
+        # selection step meaningful but satisfiable.
+        accuracy_threshold=-1.0 if args.fast else 0.5,
+        journal_path=str(args.journal) if args.journal else None,
+        resume=args.resume,
+    )
+    result = run_pipeline(config, verbose=args.verbose)
+    rows = [
+        [t.trial_id, t.status, t.attempts,
+         "nan" if not t.ok else f"{t.value:.4f}", f"{t.duration_s:.2f}s"]
+        for t in result.trials
+    ]
+    winner = result.winner_config.name if result.winner_config else "-"
+    notes = f"winner: {winner}"
+    if args.journal:
+        notes += f"; journal: {args.journal} (resume with --resume)"
+    return ExperimentResult(
+        experiment_id="pipeline",
+        title="End-to-end NAS pipeline (fault-tolerant, journaled trials)",
+        headers=["trial", "status", "attempts", "value", "duration"],
+        rows=rows,
+        notes=notes,
+    )
+
+
 EXPERIMENTS = {
+    "pipeline": _pipeline,
     "table1": _table1,
     "table2": lambda args: run_table2(),
     "table3": lambda args: run_table3(iterations=50 if args.fast else 200),
@@ -78,7 +111,15 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--verbose", action="store_true")
     parser.add_argument("--out", type=Path, default=None,
                         help="directory for JSON results")
+    parser.add_argument("--journal", type=Path, default=None,
+                        help="pipeline: JSONL trial journal for checkpoint/"
+                             "resume of the NAS sweep")
+    parser.add_argument("--resume", action="store_true",
+                        help="pipeline: continue the sweep recorded in "
+                             "--journal instead of starting fresh")
     args = parser.parse_args(argv)
+    if args.resume and args.journal is None:
+        parser.error("--resume requires --journal")
 
     names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     for name in names:

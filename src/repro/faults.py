@@ -1,0 +1,122 @@
+"""Deterministic fault injection for resilience tests and benchmarks.
+
+Wrappers that make a callable misbehave on purpose — flaky (seeded random
+failures), fail-first (deterministic transient outage), fatal-on (a
+poisoned subset of inputs), and slow (added latency).  Every wrapper is
+seeded or scripted, never wall-clock dependent, so a test that injects a
+20% failure rate injects *the same* failures on every run.
+
+Used by the NAS retry/quarantine tests, the serving circuit-breaker
+tests, and ``benchmarks/bench_resilience.py``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable
+
+import numpy as np
+
+__all__ = ["InjectedFault", "Flaky", "FailFirst", "FatalOn", "Slow"]
+
+
+class InjectedFault(RuntimeError):
+    """The failure raised by every fault wrapper (so tests can tell an
+    injected fault from a genuine bug)."""
+
+
+class Flaky:
+    """Fail each call independently with probability ``rate``.
+
+    Decisions come from a seeded generator keyed only by call order, so a
+    replay with the same seed injects faults at the same call indices.
+    Thread-safe: concurrent callers draw from one lock-protected stream.
+    """
+
+    def __init__(self, fn: Callable, rate: float, seed: int = 0,
+                 exc: type[Exception] = InjectedFault) -> None:
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError("rate must be in [0, 1]")
+        self.fn = fn
+        self.rate = rate
+        self.exc = exc
+        self.calls = 0
+        self.faults = 0
+        self._rng = np.random.default_rng(seed)
+        self._lock = threading.Lock()
+
+    def __call__(self, *args, **kwargs):
+        with self._lock:
+            self.calls += 1
+            fail = self._rng.random() < self.rate
+            if fail:
+                self.faults += 1
+        if fail:
+            raise self.exc(f"injected fault (call #{self.calls})")
+        return self.fn(*args, **kwargs)
+
+
+class FailFirst:
+    """Fail the first ``n`` calls, then delegate forever after.
+
+    The canonical transient outage: a retry loop (or a circuit breaker's
+    half-open probe) sees the failure window end deterministically.
+    """
+
+    def __init__(self, fn: Callable, n: int,
+                 exc: type[Exception] = InjectedFault) -> None:
+        if n < 0:
+            raise ValueError("n must be >= 0")
+        self.fn = fn
+        self.n = n
+        self.calls = 0
+        self.exc = exc
+        self._lock = threading.Lock()
+
+    def __call__(self, *args, **kwargs):
+        with self._lock:
+            self.calls += 1
+            fail = self.calls <= self.n
+        if fail:
+            raise self.exc(f"injected fault (call {self.calls}/{self.n})")
+        return self.fn(*args, **kwargs)
+
+
+class FatalOn:
+    """Always fail for inputs whose key is in ``poisoned``.
+
+    ``key`` maps the call arguments to a hashable key (default: ``repr``
+    of the first positional argument).  Retries never help — this is the
+    quarantine path's fault model.
+    """
+
+    def __init__(self, fn: Callable, poisoned: set, key: Callable | None = None,
+                 exc: type[Exception] = InjectedFault) -> None:
+        self.fn = fn
+        self.poisoned = set(poisoned)
+        self.key = key if key is not None else (lambda *a, **k: repr(a[0]))
+        self.exc = exc
+        self.faults = 0
+        self._lock = threading.Lock()
+
+    def __call__(self, *args, **kwargs):
+        if self.key(*args, **kwargs) in self.poisoned:
+            with self._lock:
+                self.faults += 1
+            raise self.exc("injected fatal fault (poisoned input)")
+        return self.fn(*args, **kwargs)
+
+
+class Slow:
+    """Add a fixed delay before delegating (deadline/timeout tests)."""
+
+    def __init__(self, fn: Callable, delay_s: float) -> None:
+        if delay_s < 0:
+            raise ValueError("delay_s must be >= 0")
+        self.fn = fn
+        self.delay_s = delay_s
+
+    def __call__(self, *args, **kwargs):
+        time.sleep(self.delay_s)
+        return self.fn(*args, **kwargs)

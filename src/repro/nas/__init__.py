@@ -3,13 +3,16 @@
 from .constrained import (
     CandidateProfile,
     benchmark_candidates,
+    candidates_from_trials,
     constrained_selection,
     resource_aware_selection,
 )
+from .evaluator import EvaluationResult, FunctionalEvaluator, TrainingEvaluator
+from .experiment import Experiment, TrialRecord, run_trial_with_retries
+from .journal import TrialJournal
 from .parallel import ParallelExperiment
 from .pareto import dominates, front_table, knee_point, pareto_front
-from .evaluator import EvaluationResult, FunctionalEvaluator, TrainingEvaluator
-from .experiment import Experiment, TrialRecord
+from .retry import RetryPolicy
 from .space import ModelSpace, ValueChoice, config_from_sample, sppnet_search_space
 from .strategy import (
     GreedyBanditStrategy,
@@ -28,12 +31,16 @@ __all__ = [
     "TrainingEvaluator",
     "TrialRecord",
     "Experiment",
+    "RetryPolicy",
+    "TrialJournal",
+    "run_trial_with_retries",
     "RandomStrategy",
     "GridSearchStrategy",
     "RegularizedEvolution",
     "GreedyBanditStrategy",
     "CandidateProfile",
     "benchmark_candidates",
+    "candidates_from_trials",
     "constrained_selection",
     "resource_aware_selection",
     "dominates",

@@ -20,8 +20,19 @@ from ..gpusim.device import DeviceSpec
 from ..graph.builder import build_sppnet_graph
 from ..ios.optimizer import optimize_schedule
 
-__all__ = ["CandidateProfile", "benchmark_candidates", "constrained_selection",
-           "resource_aware_selection"]
+__all__ = ["CandidateProfile", "benchmark_candidates", "candidates_from_trials",
+           "constrained_selection", "resource_aware_selection"]
+
+
+def candidates_from_trials(trials) -> list[tuple[SPPNetConfig, float]]:
+    """(config, accuracy) pairs from experiment trials, skipping quarantined
+    failures — a NaN-valued failed trial must never reach the §5.4
+    constraint check (NaN compares False everywhere and would poison the
+    accuracy ordering)."""
+    from .space import config_from_sample
+
+    return [(config_from_sample(t.sample), t.value) for t in trials
+            if getattr(t, "ok", True)]
 
 
 @dataclass(frozen=True)

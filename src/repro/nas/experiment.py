@@ -3,35 +3,116 @@
 Runs strategy-proposed architectures through an evaluator, records every
 trial, and aggregates results — "the tuning workflow organized by
 aggregating and comparing tuning results" the paper credits NNI with.
+
+Fault tolerance: an evaluator exception no longer kills the sweep.  Each
+trial gets ``RetryPolicy.max_attempts`` tries with exponential backoff +
+jitter; a trial that exhausts them is *quarantined* as a failed
+:class:`TrialRecord` (``status="failed"``, NaN value) that ``best()`` and
+the constrained-selection path skip.  With a ``journal`` configured,
+every finished trial is appended to a crash-safe JSONL file and
+:meth:`Experiment.resume` continues a killed sweep from it.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Mapping
+from pathlib import Path
+from typing import TYPE_CHECKING, Mapping
 
 import numpy as np
 
 from .evaluator import EvaluationResult, FunctionalEvaluator
+from .retry import RetryPolicy
 from .space import ModelSpace
 from .strategy import ExplorationStrategy, RandomStrategy
 
-__all__ = ["TrialRecord", "Experiment"]
+if TYPE_CHECKING:  # pragma: no cover
+    from .journal import TrialJournal
+
+__all__ = ["TrialRecord", "Experiment", "run_trial_with_retries"]
 
 
 @dataclass(frozen=True)
 class TrialRecord:
-    """One evaluated architecture."""
+    """One evaluated architecture.
+
+    status is ``"ok"`` for a successful evaluation or ``"failed"`` for a
+    quarantined trial (all retry attempts exhausted; ``value`` is NaN and
+    ``error`` holds the last exception).  ``attempts`` counts evaluator
+    calls including retries; ``duration_s`` is the wall-clock time of the
+    final attempt only (backoff sleeps excluded), measured per trial even
+    under parallel dispatch.
+    """
 
     trial_id: int
     sample: Mapping
     value: float
     metrics: Mapping
     duration_s: float
+    status: str = "ok"
+    error: str | None = None
+    attempts: int = 1
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
 
     def metric(self, key: str, default=None):
         return self.metrics.get(key, default)
+
+
+def run_trial_with_retries(
+    evaluator: FunctionalEvaluator,
+    sample: Mapping,
+    trial_id: int,
+    policy: RetryPolicy,
+    backoff_rng: np.random.Generator | None = None,
+) -> TrialRecord:
+    """Evaluate one sample under the retry policy; never raises.
+
+    Shared by the sequential and parallel drivers so both quarantine
+    identically.  Only ``Exception`` is absorbed — ``KeyboardInterrupt``
+    and friends still propagate.
+    """
+    attempts = 0
+    while True:
+        attempts += 1
+        start = time.perf_counter()
+        try:
+            result: EvaluationResult = evaluator.evaluate(sample)
+        except Exception as exc:
+            duration = time.perf_counter() - start
+            if attempts >= policy.max_attempts:
+                return TrialRecord(
+                    trial_id=trial_id,
+                    sample=dict(sample),
+                    value=float("nan"),
+                    metrics={},
+                    duration_s=duration,
+                    status="failed",
+                    error=f"{type(exc).__name__}: {exc}",
+                    attempts=attempts,
+                )
+            time.sleep(policy.delay(attempts, backoff_rng))
+        else:
+            return TrialRecord(
+                trial_id=trial_id,
+                sample=dict(sample),
+                value=result.value,
+                metrics={k: v for k, v in result.items() if k != "value"},
+                duration_s=time.perf_counter() - start,
+                status="ok",
+                attempts=attempts,
+            )
+
+
+def _as_journal(journal) -> "TrialJournal | None":
+    from .journal import TrialJournal
+
+    if journal is None or isinstance(journal, TrialJournal):
+        return journal
+    return TrialJournal(journal)
 
 
 @dataclass
@@ -43,10 +124,15 @@ class Experiment:
     space : the model space to explore.
     evaluator : trial evaluator (typically :class:`FunctionalEvaluator`).
     strategy : exploration strategy; defaults to the paper's random search.
-    max_trials : trial budget.
-    seed : seeds the strategy RNG.
+    max_trials : trial budget (quarantined failures count against it).
+    seed : seeds the strategy RNG (and retry-jitter RNG).
     deduplicate : skip proposals already evaluated (retrying up to
         ``dedup_patience`` times before accepting a duplicate).
+    retry_policy : per-trial retry/backoff knobs; ``RetryPolicy.none()``
+        quarantines on the first failure.
+    journal : path or :class:`~repro.nas.journal.TrialJournal`; when set,
+        every finished trial is appended (JSONL) so the sweep can be
+        resumed after a crash.
     """
 
     space: ModelSpace
@@ -56,13 +142,36 @@ class Experiment:
     seed: int = 0
     deduplicate: bool = True
     dedup_patience: int = 50
+    retry_policy: RetryPolicy = field(default_factory=RetryPolicy)
+    journal: "TrialJournal | str | Path | None" = None
     trials: list[TrialRecord] = field(default_factory=list)
+
+    @classmethod
+    def resume(cls, journal: "TrialJournal | str | Path", space: ModelSpace,
+               evaluator: FunctionalEvaluator, **kwargs) -> "Experiment":
+        """Rebuild an experiment from its trial journal and continue.
+
+        The journaled trials seed both the trial DB and the dedup seen-set,
+        so ``run()`` picks up exactly where the killed sweep stopped: with
+        a history-independent strategy (random/grid) and the same seed the
+        proposal stream replays from the start and already-journaled
+        samples are skipped, yielding the identical trial sequence an
+        uninterrupted run would have produced.  ``dedup_patience`` is
+        raised to cover the replayed prefix.
+        """
+        store = _as_journal(journal)
+        trials = store.load()
+        kwargs.setdefault("dedup_patience", max(50, 2 * len(trials) + 50))
+        return cls(space=space, evaluator=evaluator, journal=store,
+                   trials=trials, **kwargs)
 
     def run(self) -> list[TrialRecord]:
         """Execute the trial loop and return all records."""
         if self.max_trials < 1:
             raise ValueError("max_trials must be >= 1")
         rng = np.random.default_rng(self.seed)
+        backoff_rng = np.random.default_rng((self.seed, 0x5E11))
+        journal = _as_journal(self.journal)
         seen = {ModelSpace.encode(t.sample) for t in self.trials}
         while len(self.trials) < self.max_trials:
             sample = self.strategy.propose(self.space, self.trials, rng)
@@ -74,40 +183,52 @@ class Experiment:
                 if ModelSpace.encode(sample) in seen and len(seen) >= self.space.size:
                     break  # space exhausted
             self.space.validate(sample)
-            start = time.perf_counter()
-            result: EvaluationResult = self.evaluator.evaluate(sample)
-            record = TrialRecord(
-                trial_id=len(self.trials),
-                sample=dict(sample),
-                value=result.value,
-                metrics={k: v for k, v in result.items() if k != "value"},
-                duration_s=time.perf_counter() - start,
+            record = run_trial_with_retries(
+                self.evaluator, sample, trial_id=len(self.trials),
+                policy=self.retry_policy, backoff_rng=backoff_rng,
             )
             self.trials.append(record)
             seen.add(ModelSpace.encode(sample))
+            if journal is not None:
+                journal.append(record)
         return self.trials
 
     # -- aggregation ------------------------------------------------------
+    def succeeded(self) -> list[TrialRecord]:
+        return [t for t in self.trials if t.ok]
+
+    def failed(self) -> list[TrialRecord]:
+        """Quarantined trials (all retry attempts exhausted)."""
+        return [t for t in self.trials if not t.ok]
+
     def best(self) -> TrialRecord:
-        if not self.trials:
+        ok = self.succeeded()
+        if not ok:
+            if self.trials:
+                raise RuntimeError(
+                    f"all {len(self.trials)} trials failed (quarantined)"
+                )
             raise RuntimeError("experiment has not run")
-        return max(self.trials, key=lambda t: t.value)
+        return max(ok, key=lambda t: t.value)
 
     def top_k(self, k: int) -> list[TrialRecord]:
-        return sorted(self.trials, key=lambda t: t.value, reverse=True)[:k]
+        return sorted(self.succeeded(), key=lambda t: t.value, reverse=True)[:k]
 
     def above_threshold(self, threshold: float) -> list[TrialRecord]:
         """Trials meeting the accuracy constraint of §5.4 (a(n) > A)."""
-        return [t for t in self.trials if t.value > threshold]
+        return [t for t in self.succeeded() if t.value > threshold]
 
     def results_table(self) -> str:
-        """Tuning-result comparison table, best first."""
+        """Tuning-result comparison table, best first, failures last."""
         if not self.trials:
             return "(no trials)"
         names = [c.name for c in self.space.choices]
         header = f"{'trial':>5}  {'value':>8}  " + "  ".join(f"{n:>14}" for n in names)
         lines = [header, "-" * len(header)]
-        for t in sorted(self.trials, key=lambda t: t.value, reverse=True):
+        ordered = sorted(self.succeeded(), key=lambda t: t.value, reverse=True)
+        ordered += self.failed()
+        for t in ordered:
             cells = "  ".join(f"{str(t.sample.get(n)):>14}" for n in names)
-            lines.append(f"{t.trial_id:>5}  {t.value:8.4f}  {cells}")
+            shown = f"{t.value:8.4f}" if t.ok else f"{'FAILED':>8}"
+            lines.append(f"{t.trial_id:>5}  {shown}  {cells}")
         return "\n".join(lines)

@@ -13,27 +13,45 @@ dispatch and trials are recorded in proposal order, so a parallel
 experiment explores exactly the trials the sequential one would with the
 same strategy/seed (strategies that adapt to history see history only at
 batch boundaries — the standard synchronous-batch NAS semantics).
+
+Fault tolerance: retries/quarantine happen *inside* each worker (via
+:func:`~repro.nas.experiment.run_trial_with_retries`), so one failing
+trial neither kills the batch nor loses its siblings' results — the
+failure surfaces as a quarantined ``TrialRecord`` instead of an exception
+out of ``pool.map``.  Each worker also times its own trial, so
+``duration_s`` is the true per-trial cost, not the batch wall-clock split
+evenly (efficiency ``e(n)`` readouts consume this).
 """
 
 from __future__ import annotations
 
-import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from .evaluator import FunctionalEvaluator
-from .experiment import TrialRecord
+from .experiment import TrialRecord, _as_journal, run_trial_with_retries
+from .retry import RetryPolicy
 from .space import ModelSpace
 from .strategy import ExplorationStrategy, RandomStrategy
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .journal import TrialJournal
 
 __all__ = ["ParallelExperiment"]
 
 
 @dataclass
 class ParallelExperiment:
-    """Synchronous-batch multi-worker NAS experiment."""
+    """Synchronous-batch multi-worker NAS experiment.
+
+    ``retry_policy`` and ``journal`` mirror :class:`~repro.nas.Experiment`:
+    failed trials are retried with backoff then quarantined, and every
+    finished trial is journaled (in proposal order) for crash resume.
+    """
 
     space: ModelSpace
     evaluator: FunctionalEvaluator
@@ -42,18 +60,29 @@ class ParallelExperiment:
     workers: int = 4
     seed: int = 0
     deduplicate: bool = True
+    retry_policy: RetryPolicy = field(default_factory=RetryPolicy)
+    journal: "TrialJournal | str | Path | None" = None
     trials: list[TrialRecord] = field(default_factory=list)
 
     def __post_init__(self) -> None:
         if self.workers < 1:
             raise ValueError("workers must be >= 1")
 
+    @classmethod
+    def resume(cls, journal: "TrialJournal | str | Path", space: ModelSpace,
+               evaluator: FunctionalEvaluator, **kwargs) -> "ParallelExperiment":
+        """Continue a killed sweep from its trial journal (see
+        :meth:`repro.nas.Experiment.resume` for the determinism contract)."""
+        store = _as_journal(journal)
+        return cls(space=space, evaluator=evaluator, journal=store,
+                   trials=store.load(), **kwargs)
+
     def _propose_batch(self, rng: np.random.Generator,
                        seen: set[tuple]) -> list[dict]:
         batch: list[dict] = []
         attempts = 0
         want = min(self.workers, self.max_trials - len(self.trials))
-        while len(batch) < want and attempts < 50 * want:
+        while len(batch) < want and attempts < 50 * want + 2 * len(seen):
             attempts += 1
             sample = dict(self.strategy.propose(self.space, self.trials, rng))
             encoding = ModelSpace.encode(sample)
@@ -64,29 +93,51 @@ class ParallelExperiment:
             batch.append(sample)
         return batch
 
+    def _run_one(self, task: tuple[int, dict]) -> TrialRecord:
+        """Worker body: evaluate one sample with retries, timed in-worker.
+
+        ``trial_id`` is the proposal ordinal — records are appended in
+        batch order, so it is also the final position in ``trials``.
+        """
+        trial_id, sample = task
+        backoff_rng = np.random.default_rng((self.seed, 0x5E11, trial_id))
+        return run_trial_with_retries(
+            self.evaluator, sample, trial_id=trial_id,
+            policy=self.retry_policy, backoff_rng=backoff_rng,
+        )
+
     def run(self) -> list[TrialRecord]:
         """Run trials in worker batches until the budget is spent."""
         rng = np.random.default_rng(self.seed)
+        journal = _as_journal(self.journal)
         seen = {ModelSpace.encode(t.sample) for t in self.trials}
         with ThreadPoolExecutor(max_workers=self.workers) as pool:
             while len(self.trials) < self.max_trials:
                 batch = self._propose_batch(rng, seen)
                 if not batch:
                     break  # space exhausted
-                start = time.perf_counter()
-                results = list(pool.map(self.evaluator.evaluate, batch))
-                duration = time.perf_counter() - start
-                for sample, result in zip(batch, results):
-                    self.trials.append(TrialRecord(
-                        trial_id=len(self.trials),
-                        sample=sample,
-                        value=result.value,
-                        metrics={k: v for k, v in result.items() if k != "value"},
-                        duration_s=duration / len(batch),
-                    ))
+                base = len(self.trials)
+                tasks = [(base + i, sample) for i, sample in enumerate(batch)]
+                for record in pool.map(self._run_one, tasks):
+                    self.trials.append(record)
+                    if journal is not None:
+                        journal.append(record)
         return self.trials
 
+    # -- aggregation ------------------------------------------------------
+    def succeeded(self) -> list[TrialRecord]:
+        return [t for t in self.trials if t.ok]
+
+    def failed(self) -> list[TrialRecord]:
+        """Quarantined trials (all retry attempts exhausted)."""
+        return [t for t in self.trials if not t.ok]
+
     def best(self) -> TrialRecord:
-        if not self.trials:
+        ok = self.succeeded()
+        if not ok:
+            if self.trials:
+                raise RuntimeError(
+                    f"all {len(self.trials)} trials failed (quarantined)"
+                )
             raise RuntimeError("experiment has not run")
-        return max(self.trials, key=lambda t: t.value)
+        return max(ok, key=lambda t: t.value)

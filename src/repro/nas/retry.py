@@ -1,0 +1,59 @@
+"""Trial retry policy: exponential backoff with seeded jitter.
+
+One evaluator exception should cost one retry delay, not the whole
+sweep.  ``RetryPolicy`` decides how many attempts a trial gets and how
+long to back off between them; jitter decorrelates concurrent retries so
+parallel workers do not hammer a shared resource in lockstep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["RetryPolicy"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Knobs of the trial retry loop.
+
+    max_attempts : total tries per trial (1 = no retries); a trial that
+                   fails all attempts is quarantined as a failed record.
+    backoff_s    : delay before the first retry.
+    multiplier   : backoff growth factor per further retry.
+    jitter       : uniform jitter fraction added to each delay
+                   (``delay * U[0, jitter]``); 0 disables it.
+    max_backoff_s: ceiling on any single delay.
+    """
+
+    max_attempts: int = 3
+    backoff_s: float = 0.05
+    multiplier: float = 2.0
+    jitter: float = 0.25
+    max_backoff_s: float = 5.0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.backoff_s < 0 or self.max_backoff_s < 0:
+            raise ValueError("backoff delays must be >= 0")
+        if self.multiplier < 1.0:
+            raise ValueError("multiplier must be >= 1")
+        if not 0.0 <= self.jitter:
+            raise ValueError("jitter must be >= 0")
+
+    def delay(self, attempt: int, rng: np.random.Generator | None = None) -> float:
+        """Backoff before retrying after ``attempt`` failures (1-based)."""
+        if attempt < 1:
+            raise ValueError("attempt is 1-based")
+        base = self.backoff_s * self.multiplier ** (attempt - 1)
+        if self.jitter and rng is not None:
+            base *= 1.0 + float(rng.uniform(0.0, self.jitter))
+        return min(base, self.max_backoff_s)
+
+    @classmethod
+    def none(cls) -> "RetryPolicy":
+        """Fail-fast policy: a single attempt, quarantine on first error."""
+        return cls(max_attempts=1, backoff_s=0.0)

@@ -19,8 +19,9 @@ from .ios import OptimizationResult, optimize_schedule
 from .nas import (
     Experiment,
     RandomStrategy,
+    RetryPolicy,
     TrainingEvaluator,
-    config_from_sample,
+    candidates_from_trials,
     resource_aware_selection,
     sppnet_search_space,
 )
@@ -42,6 +43,9 @@ class PipelineConfig:
     batch: int = 1
     profile_iterations: int = 100
     serve_requests: int = 0  # >0: smoke the winner through InferenceService
+    trial_attempts: int = 3  # retries + quarantine for flaky trial training
+    journal_path: str | None = None  # JSONL trial journal (crash resume)
+    resume: bool = False  # continue the sweep recorded in journal_path
 
 
 @dataclass
@@ -85,18 +89,33 @@ def run_pipeline(config: PipelineConfig | None = None,
         models[(arch.name,)] = run.model
         return {"value": scores.ap, "accuracy": scores.accuracy}
 
-    experiment = Experiment(
-        space=sppnet_search_space(),
-        evaluator=TrainingEvaluator(evaluate),
-        strategy=RandomStrategy(),
-        max_trials=config.nas_trials,
-        seed=config.data_seed,
-    )
+    retry_policy = RetryPolicy(max_attempts=max(1, config.trial_attempts))
+    if config.resume:
+        if config.journal_path is None:
+            raise ValueError("resume=True requires journal_path")
+        experiment = Experiment.resume(
+            config.journal_path,
+            space=sppnet_search_space(),
+            evaluator=TrainingEvaluator(evaluate),
+            strategy=RandomStrategy(),
+            max_trials=config.nas_trials,
+            seed=config.data_seed,
+            retry_policy=retry_policy,
+        )
+    else:
+        experiment = Experiment(
+            space=sppnet_search_space(),
+            evaluator=TrainingEvaluator(evaluate),
+            strategy=RandomStrategy(),
+            max_trials=config.nas_trials,
+            seed=config.data_seed,
+            retry_policy=retry_policy,
+            journal=config.journal_path,
+        )
     experiment.run()
     result.trials = list(experiment.trials)
-    result.candidates = [
-        (config_from_sample(t.sample), t.value) for t in experiment.trials
-    ]
+    # quarantined (failed) trials never reach the §5.4 selection step
+    result.candidates = candidates_from_trials(experiment.trials)
 
     winner, _profiles = resource_aware_selection(
         result.candidates, config.accuracy_threshold,

@@ -3,11 +3,13 @@
 Production front-end over the trained detector: micro-batching tuned by
 the Figure 6 batch-efficiency curve, content-hash LRU caching, bounded
 queueing with backpressure, per-request deadlines, graceful draining
-shutdown, and a metrics registry rendered in the ``repro.profiling``
-report style.  See ``docs/serving.md``.
+shutdown, a model-worker circuit breaker with cache-only degraded mode,
+and a metrics registry rendered in the ``repro.profiling`` report style.
+See ``docs/serving.md`` and ``docs/resilience.md``.
 """
 
 from .batching import BatchPolicy, policy_from_fig6
+from .breaker import CLOSED, HALF_OPEN, OPEN, BreakerPolicy, CircuitBreaker
 from .cache import LRUCache, chip_key
 from .metrics import (
     Counter,
@@ -17,6 +19,7 @@ from .metrics import (
     format_service_report,
 )
 from .service import (
+    DegradedServiceError,
     DetectionResult,
     InferenceService,
     QueueFullError,
@@ -28,6 +31,11 @@ from .service import (
 __all__ = [
     "BatchPolicy",
     "policy_from_fig6",
+    "BreakerPolicy",
+    "CircuitBreaker",
+    "CLOSED",
+    "OPEN",
+    "HALF_OPEN",
     "LRUCache",
     "chip_key",
     "Counter",
@@ -41,4 +49,5 @@ __all__ = [
     "QueueFullError",
     "RequestTimeoutError",
     "ServiceStoppedError",
+    "DegradedServiceError",
 ]

@@ -12,6 +12,7 @@ regenerated ``results/fig6.json`` artifact.
 from __future__ import annotations
 
 import json
+import warnings
 from dataclasses import dataclass
 from pathlib import Path
 
@@ -51,13 +52,30 @@ def policy_from_fig6(path: str | Path | None = None,
     Reads the optimized us/image column, applies the paper's §6.4
     diminishing-gains rule (:func:`repro.experiments.select_optimal_batch`),
     and uses the selected batch size as ``max_batch``.
+
+    A missing or malformed artifact (fresh clone before
+    ``python -m repro.experiments fig6`` regenerated it) falls back to the
+    default :class:`BatchPolicy` with a warning instead of raising, so the
+    service always starts.
     """
     from ..experiments import select_optimal_batch
 
     artifact = Path(path) if path is not None else _FIG6_PATH
-    payload = json.loads(artifact.read_text())
-    efficiencies = {int(row[0]): float(row[2]) for row in payload["rows"]}
-    if not efficiencies:
-        raise ValueError(f"no batch-efficiency rows in {artifact}")
-    return BatchPolicy(max_batch=select_optimal_batch(efficiencies),
-                       max_wait_ms=max_wait_ms)
+    try:
+        payload = json.loads(artifact.read_text())
+        efficiencies = {int(row[0]): float(row[2]) for row in payload["rows"]}
+        if not efficiencies:
+            raise ValueError(f"no batch-efficiency rows in {artifact}")
+        return BatchPolicy(max_batch=select_optimal_batch(efficiencies),
+                           max_wait_ms=max_wait_ms)
+    except (OSError, ValueError, KeyError, IndexError, TypeError) as exc:
+        # OSError covers the missing file; the rest cover a malformed one
+        # (bad JSON raises json.JSONDecodeError, a ValueError subclass).
+        warnings.warn(
+            f"could not derive BatchPolicy from {artifact} "
+            f"({type(exc).__name__}: {exc}); falling back to the default "
+            f"policy — regenerate with 'python -m repro.experiments fig6'",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return BatchPolicy(max_wait_ms=max_wait_ms)

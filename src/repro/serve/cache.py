@@ -73,6 +73,16 @@ class LRUCache(Generic[V]):
             self._data.clear()
 
     @property
+    def stats(self) -> tuple[int, int]:
+        """Atomic (hits, misses) snapshot under the writers' lock."""
+        with self._lock:
+            return self.hits, self.misses
+
+    @property
     def hit_rate(self) -> float:
-        total = self.hits + self.misses
-        return self.hits / total if total else 0.0
+        # Both counters must come from one locked snapshot: an unlocked
+        # read can interleave with a concurrent get() and observe a hits
+        # value newer than the total it is divided by (rate > 1).
+        hits, misses = self.stats
+        total = hits + misses
+        return hits / total if total else 0.0

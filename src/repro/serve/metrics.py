@@ -114,11 +114,33 @@ class ServiceMetrics:
         self.timeouts = Counter()
         self.cache_hits = Counter()
         self.cache_misses = Counter()
+        self.worker_failures = Counter()
+        self.worker_retries = Counter()
+        self.degraded_served = Counter()
+        self.degraded_rejected = Counter()
         self.queue_depth = Gauge()
         self.latency_ms = Histogram()
         self.batch_latency_ms = Histogram()
         self._batch_sizes: TallyCounter[int] = TallyCounter()
+        self._breaker_state = "closed"
+        self._breaker_transitions: TallyCounter[str] = TallyCounter()
         self._lock = threading.Lock()
+
+    # -- circuit breaker telemetry --------------------------------------
+    def record_breaker_transition(self, old: str, new: str) -> None:
+        with self._lock:
+            self._breaker_state = new
+            self._breaker_transitions[f"{old}->{new}"] += 1
+
+    @property
+    def breaker_state(self) -> str:
+        with self._lock:
+            return self._breaker_state
+
+    @property
+    def breaker_transitions(self) -> dict[str, int]:
+        with self._lock:
+            return dict(sorted(self._breaker_transitions.items()))
 
     def observe_batch(self, size: int, latency_ms: float) -> None:
         with self._lock:
@@ -138,8 +160,13 @@ class ServiceMetrics:
             return sum(s * n for s, n in self._batch_sizes.items()) / total
 
     def cache_hit_rate(self) -> float:
-        lookups = self.cache_hits.value + self.cache_misses.value
-        return self.cache_hits.value / lookups if lookups else 0.0
+        # Read each counter exactly once: re-reading ``cache_hits`` for
+        # the numerator could observe a later value than the one summed
+        # into the denominator and report a rate above 1 under load.
+        hits = self.cache_hits.value
+        misses = self.cache_misses.value
+        lookups = hits + misses
+        return hits / lookups if lookups else 0.0
 
     def snapshot(self) -> dict:
         return {
@@ -150,6 +177,12 @@ class ServiceMetrics:
             "cache_hits": self.cache_hits.value,
             "cache_misses": self.cache_misses.value,
             "cache_hit_rate": self.cache_hit_rate(),
+            "worker_failures": self.worker_failures.value,
+            "worker_retries": self.worker_retries.value,
+            "degraded_served": self.degraded_served.value,
+            "degraded_rejected": self.degraded_rejected.value,
+            "breaker_state": self.breaker_state,
+            "breaker_transitions": self.breaker_transitions,
             "queue_depth": self.queue_depth.value,
             "queue_depth_peak": self.queue_depth.peak,
             "batch_size_histogram": {
@@ -200,5 +233,13 @@ def format_service_report(metrics: ServiceMetrics, label: str = "serve") -> str:
         rule(),
         f"{snap['cache_hits']:9d}  {snap['cache_misses']:9d}  "
         f"{100 * snap['cache_hit_rate']:8.1f}%",
+        "",
+        "Resilience Statistics:",
+        f"{'Failures':>9}  {'Retries':>9}  {'Degraded':>9}  "
+        f"{'Deg.rej':>9}  {'Breaker':>9}",
+        rule(),
+        f"{snap['worker_failures']:9d}  {snap['worker_retries']:9d}  "
+        f"{snap['degraded_served']:9d}  {snap['degraded_rejected']:9d}  "
+        f"{snap['breaker_state']:>9}",
     ]
     return "\n".join(lines)

@@ -14,7 +14,12 @@ One long-lived :class:`InferenceService` turns the repo's synchronous
 * a bounded queue applies backpressure (:class:`QueueFullError`),
   per-request deadlines expire stale work (:class:`RequestTimeoutError`),
   and :meth:`~InferenceService.shutdown` drains in-flight requests before
-  the threads exit.
+  the threads exit;
+* a circuit breaker (:class:`~repro.serve.breaker.CircuitBreaker`) guards
+  the model workers: failed batches are retried, consecutive failures
+  trip the breaker, and while it is open the service runs in *degraded
+  mode* — cache hits are still served, uncached requests fail fast with
+  :class:`DegradedServiceError` until a half-open probe succeeds.
 
 Telemetry lives in a :class:`~repro.serve.metrics.ServiceMetrics`
 registry rendered through the ``repro.profiling`` report conventions.
@@ -33,6 +38,7 @@ import numpy as np
 from ..detect.predict import predict
 from ..detect.sppnet import SPPNetDetector
 from .batching import BatchPolicy
+from .breaker import OPEN, BreakerPolicy, CircuitBreaker
 from .cache import LRUCache, chip_key
 from .metrics import ServiceMetrics
 
@@ -41,6 +47,7 @@ __all__ = [
     "QueueFullError",
     "RequestTimeoutError",
     "ServiceStoppedError",
+    "DegradedServiceError",
     "DetectionResult",
     "InferenceService",
 ]
@@ -60,6 +67,10 @@ class RequestTimeoutError(ServeError):
 
 class ServiceStoppedError(ServeError):
     """Raised when submitting to (or pending inside) a stopped service."""
+
+
+class DegradedServiceError(ServeError):
+    """The circuit breaker is open and the request is not in the cache."""
 
 
 @dataclass(frozen=True)
@@ -109,6 +120,13 @@ class InferenceService:
     cache_size  : LRU entries (0 disables caching)
     num_workers : model-execution threads; micro-batches from the batcher
                   fan out across them
+    breaker     : :class:`~repro.serve.breaker.BreakerPolicy` for the
+                  model-worker circuit breaker (None = defaults)
+    max_batch_retries : immediate re-runs of a failed micro-batch before
+                  its futures fail and the breaker counts the failure
+    predict_fn  : model-execution function
+                  ``(model, stack, batch_size) -> (confidences, boxes)``;
+                  injectable for fault-injection tests (``repro.faults``)
 
     Use as a context manager or call :meth:`shutdown` explicitly —
     the batcher and workers are non-daemon threads.
@@ -122,16 +140,26 @@ class InferenceService:
         max_queue: int = 1024,
         cache_size: int = 512,
         num_workers: int = 1,
+        breaker: BreakerPolicy | None = None,
+        max_batch_retries: int = 1,
+        predict_fn=None,
     ) -> None:
         if max_queue < 1:
             raise ValueError("max_queue must be >= 1")
         if num_workers < 1:
             raise ValueError("num_workers must be >= 1")
+        if max_batch_retries < 0:
+            raise ValueError("max_batch_retries must be >= 0")
         self.model = model
         self.policy = policy if policy is not None else BatchPolicy()
         self.max_queue = max_queue
+        self.max_batch_retries = max_batch_retries
         self.cache: LRUCache[DetectionResult] = LRUCache(cache_size)
         self.metrics = ServiceMetrics()
+        self.breaker = CircuitBreaker(
+            breaker, on_transition=self.metrics.record_breaker_transition
+        )
+        self._predict_fn = predict_fn if predict_fn is not None else predict
 
         self._queue: deque[_Pending] = deque()
         # O(1) batcher bookkeeping: same-shape counts decide batch
@@ -178,10 +206,13 @@ class InferenceService:
         self.metrics.submitted.inc()
 
         key = chip_key(chip) if self.cache.capacity else ""
+        degraded = self.breaker.state == OPEN
         if self.cache.capacity:
             hit = self.cache.get(key)
             if hit is not None:
                 self.metrics.cache_hits.inc()
+                if degraded:
+                    self.metrics.degraded_served.inc()
                 self.metrics.completed.inc()
                 self.metrics.latency_ms.observe(0.0)
                 future: Future[DetectionResult] = Future()
@@ -190,6 +221,15 @@ class InferenceService:
                 )
                 return future
             self.metrics.cache_misses.inc()
+
+        if degraded:
+            # cache-only mode: fail fast instead of queueing work the
+            # tripped workers would only reject later
+            self.metrics.degraded_rejected.inc()
+            raise DegradedServiceError(
+                "circuit breaker open: model workers unavailable and "
+                "result not cached"
+            )
 
         deadline = time.monotonic() + timeout_s if timeout_s is not None else None
         pending = _Pending(np.asarray(chip, dtype=np.float32), key, deadline)
@@ -378,16 +418,31 @@ class InferenceService:
             batch = live
             if not batch:
                 return
-            try:
-                stack = np.stack([p.chip for p in batch])
-                confidences, boxes = predict(
-                    self.model, stack, batch_size=len(batch)
-                )
-            except BaseException as exc:  # propagate to every waiting caller
-                for pending in batch:
-                    if not pending.future.done():
-                        pending.future.set_exception(exc)
+            if not self.breaker.allow():
+                # tripped while these requests were queued: cache-only
+                self._serve_degraded(batch)
                 return
+            stack = np.stack([p.chip for p in batch])
+            attempts = 0
+            while True:
+                attempts += 1
+                try:
+                    confidences, boxes = self._predict_fn(
+                        self.model, stack, batch_size=len(batch)
+                    )
+                    self.breaker.record_success()
+                    break
+                except BaseException as exc:
+                    self.metrics.worker_failures.inc()
+                    retryable = (isinstance(exc, Exception)
+                                 and attempts <= self.max_batch_retries)
+                    if not retryable:  # propagate to every waiting caller
+                        self.breaker.record_failure()
+                        for pending in batch:
+                            if not pending.future.done():
+                                pending.future.set_exception(exc)
+                        return
+                    self.metrics.worker_retries.inc()
             now = time.monotonic()
             self.metrics.observe_batch(len(batch), (now - started) * 1e3)
             for pending, conf, box in zip(batch, confidences, boxes):
@@ -400,3 +455,28 @@ class InferenceService:
                 pending.future.set_result(result)
         finally:
             self._inflight.release()
+
+    def _serve_degraded(self, batch: list[_Pending]) -> None:
+        """Cache-only answers for a batch the open breaker refused.
+
+        Requests whose chips were cached since they queued are still
+        served (marked degraded); the rest fail with
+        :class:`DegradedServiceError` rather than touching the workers.
+        """
+        for pending in batch:
+            hit = self.cache.get(pending.key) if self.cache.capacity else None
+            if hit is not None:
+                self.metrics.degraded_served.inc()
+                self.metrics.completed.inc()
+                self.metrics.latency_ms.observe(
+                    (time.monotonic() - pending.enqueued_at) * 1e3
+                )
+                pending.future.set_result(
+                    DetectionResult(hit.confidence, hit.box, cached=True)
+                )
+            else:
+                self.metrics.degraded_rejected.inc()
+                pending.future.set_exception(DegradedServiceError(
+                    "circuit breaker open: model workers unavailable and "
+                    "result not cached"
+                ))

@@ -24,6 +24,8 @@ from .modules import (
     Sigmoid,
     SpatialPyramidPooling,
     Tanh,
+    default_module_rng,
+    seed_module_rng,
 )
 from .serialization import load_checkpoint, load_state, save_checkpoint
 from .tensor import (
@@ -63,6 +65,8 @@ __all__ = [
     "Flatten",
     "Sequential",
     "BatchNorm2d",
+    "default_module_rng",
+    "seed_module_rng",
     "gradcheck",
     "numerical_gradient",
     "save_checkpoint",

@@ -18,6 +18,8 @@ from . import init
 from .tensor import Tensor
 
 __all__ = [
+    "default_module_rng",
+    "seed_module_rng",
     "Module",
     "Parameter",
     "Conv2d",
@@ -41,6 +43,29 @@ class Parameter(Tensor):
 
     def __init__(self, data, name: str | None = None) -> None:
         super().__init__(data, requires_grad=True, name=name)
+
+
+# Process-wide seeded stream for layers constructed without an explicit
+# ``rng``.  A *shared* stream (rather than a fresh ``default_rng(0)`` per
+# layer) is essential: per-layer fresh generators gave every same-shape
+# layer byte-identical initial weights — perfectly correlated init and
+# symmetric hidden units that gradient descent cannot break.
+_module_rng = np.random.default_rng(0)
+
+
+def default_module_rng() -> np.random.Generator:
+    """The shared stream used when a layer gets no explicit ``rng``.
+
+    Deterministic given construction order; call :func:`seed_module_rng`
+    to restart it for reproducible model builds.
+    """
+    return _module_rng
+
+
+def seed_module_rng(seed: int = 0) -> None:
+    """Reset the shared default-initialization stream."""
+    global _module_rng
+    _module_rng = np.random.default_rng(seed)
 
 
 class Module:
@@ -182,7 +207,7 @@ class Conv2d(Module):
                  stride: int = 1, padding: int = 0, bias: bool = True,
                  rng: np.random.Generator | None = None) -> None:
         super().__init__()
-        rng = rng if rng is not None else np.random.default_rng(0)
+        rng = rng if rng is not None else default_module_rng()
         self.in_channels = in_channels
         self.out_channels = out_channels
         self.kernel_size = kernel_size
@@ -327,7 +352,7 @@ class Linear(Module):
     def __init__(self, in_features: int, out_features: int, bias: bool = True,
                  rng: np.random.Generator | None = None) -> None:
         super().__init__()
-        rng = rng if rng is not None else np.random.default_rng(0)
+        rng = rng if rng is not None else default_module_rng()
         self.in_features = in_features
         self.out_features = out_features
         self.weight = Parameter(init.kaiming_uniform((out_features, in_features), rng),
@@ -362,7 +387,7 @@ class Dropout(Module):
     def __init__(self, p: float = 0.5, rng: np.random.Generator | None = None) -> None:
         super().__init__()
         self.p = p
-        self.rng = rng if rng is not None else np.random.default_rng(0)
+        self.rng = rng if rng is not None else default_module_rng()
 
     def forward(self, x: Tensor) -> Tensor:
         return F.dropout(x, self.p, self.training, self.rng)

@@ -1,0 +1,263 @@
+"""Trial retries, quarantine, journaling, and checkpoint/resume."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.faults import FatalOn, Flaky, InjectedFault
+from repro.nas import (
+    Experiment,
+    FunctionalEvaluator,
+    ModelSpace,
+    ParallelExperiment,
+    RetryPolicy,
+    TrialJournal,
+    ValueChoice,
+    run_trial_with_retries,
+    sppnet_search_space,
+)
+
+FAST_RETRIES = RetryPolicy(max_attempts=3, backoff_s=0.001, max_backoff_s=0.01)
+
+
+def objective(sample):
+    return sample["fc_width"] / 8192 + sample["spp_first_level"] / 100
+
+
+class TestRetryPolicy:
+    def test_delay_grows_and_caps(self):
+        policy = RetryPolicy(backoff_s=0.1, multiplier=2.0, jitter=0.0,
+                             max_backoff_s=0.3)
+        assert policy.delay(1) == pytest.approx(0.1)
+        assert policy.delay(2) == pytest.approx(0.2)
+        assert policy.delay(3) == pytest.approx(0.3)  # capped
+        assert policy.delay(10) == pytest.approx(0.3)
+
+    def test_jitter_bounded(self):
+        policy = RetryPolicy(backoff_s=0.1, multiplier=1.0, jitter=0.5)
+        rng = np.random.default_rng(0)
+        delays = [policy.delay(1, rng) for _ in range(100)]
+        assert all(0.1 <= d <= 0.15 for d in delays)
+        assert len(set(delays)) > 1
+
+    def test_none_is_single_attempt(self):
+        assert RetryPolicy.none().max_attempts == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(multiplier=0.5)
+
+
+class TestRunTrialWithRetries:
+    def test_flaky_succeeds_on_retry(self):
+        from repro.faults import FailFirst
+
+        fn = FailFirst(objective, n=1)  # transient: first attempt fails
+        record = run_trial_with_retries(
+            FunctionalEvaluator(fn), {"fc_width": 4096, "spp_first_level": 2},
+            trial_id=0, policy=FAST_RETRIES,
+        )
+        assert record.ok
+        assert record.attempts == 2
+        assert record.value == pytest.approx(objective(record.sample))
+
+    def test_fatal_is_quarantined(self):
+        def always_fails(sample):
+            raise InjectedFault("boom")
+
+        record = run_trial_with_retries(
+            FunctionalEvaluator(always_fails), {"a": 1},
+            trial_id=3, policy=FAST_RETRIES,
+        )
+        assert not record.ok
+        assert record.status == "failed"
+        assert record.attempts == FAST_RETRIES.max_attempts
+        assert "InjectedFault" in record.error
+        assert np.isnan(record.value)
+        assert record.trial_id == 3
+
+
+class TestExperimentQuarantine:
+    def test_flaky_sweep_completes_and_matches_fault_free(self):
+        """20% injected failures: same trials, same winner as fault-free."""
+        clean = Experiment(sppnet_search_space(), FunctionalEvaluator(objective),
+                           max_trials=12, seed=4)
+        clean.run()
+
+        # 6 attempts: P(6 consecutive injected faults) ~ 6e-5 per trial,
+        # so every trial deterministically succeeds within the budget
+        flaky = Flaky(objective, rate=0.2, seed=11)
+        faulty = Experiment(
+            sppnet_search_space(), FunctionalEvaluator(flaky),
+            max_trials=12, seed=4,
+            retry_policy=RetryPolicy(max_attempts=6, backoff_s=0.001),
+        )
+        faulty.run()
+
+        assert flaky.faults > 0  # faults were actually injected
+        assert len(faulty.trials) == 12
+        assert [t.sample for t in faulty.trials] == [t.sample for t in clean.trials]
+        assert faulty.best().sample == clean.best().sample
+        assert faulty.best().value == pytest.approx(clean.best().value)
+        assert any(t.attempts > 1 for t in faulty.trials)
+
+    def test_fatal_trials_quarantined_and_excluded_from_best(self):
+        space = ModelSpace([ValueChoice("a", (1, 2, 3, 4, 5))])
+        poisoned = {repr({"a": 5})}  # would otherwise win
+
+        fn = FatalOn(lambda s: s["a"] / 10, poisoned, key=lambda s: repr(dict(s)))
+        exp = Experiment(space, FunctionalEvaluator(fn), max_trials=5, seed=0,
+                         retry_policy=RetryPolicy.none())
+        exp.run()
+
+        assert len(exp.trials) == 5
+        assert len(exp.failed()) == 1
+        assert not exp.failed()[0].ok
+        assert exp.best().sample["a"] == 4  # 5 is quarantined
+        assert all(t.sample["a"] != 5 for t in exp.above_threshold(0.0))
+        assert "FAILED" in exp.results_table()
+
+    def test_all_failed_raises(self):
+        space = ModelSpace([ValueChoice("a", (1, 2))])
+
+        def boom(sample):
+            raise RuntimeError("dead evaluator")
+
+        exp = Experiment(space, FunctionalEvaluator(boom), max_trials=2, seed=0,
+                         retry_policy=RetryPolicy.none())
+        exp.run()
+        with pytest.raises(RuntimeError, match="quarantined"):
+            exp.best()
+
+
+class TestParallelQuarantine:
+    def test_flaky_parallel_sweep_matches_fault_free_winner(self):
+        clean = ParallelExperiment(
+            sppnet_search_space(), FunctionalEvaluator(objective),
+            max_trials=12, workers=4, seed=4)
+        clean.run()
+
+        flaky = Flaky(objective, rate=0.2, seed=23)
+        faulty = ParallelExperiment(
+            sppnet_search_space(), FunctionalEvaluator(flaky),
+            max_trials=12, workers=4, seed=4,
+            retry_policy=RetryPolicy(max_attempts=6, backoff_s=0.001),
+        )
+        faulty.run()
+
+        assert flaky.faults > 0
+        assert len(faulty.trials) == 12
+        assert [t.sample for t in faulty.trials] == [t.sample for t in clean.trials]
+        assert faulty.best().sample == clean.best().sample
+
+    def test_fatal_trial_does_not_lose_batch_siblings(self):
+        """One poisoned trial in a batch: siblings' results survive."""
+        space = ModelSpace([ValueChoice("a", (1, 2, 3, 4))])
+        fn = FatalOn(lambda s: s["a"] / 10, {repr({"a": 2})},
+                     key=lambda s: repr(dict(s)))
+        exp = ParallelExperiment(space, FunctionalEvaluator(fn),
+                                 max_trials=4, workers=4, seed=0,
+                                 retry_policy=RetryPolicy.none())
+        exp.run()
+        assert len(exp.trials) == 4
+        assert len(exp.succeeded()) == 3
+        assert len(exp.failed()) == 1
+        assert exp.failed()[0].sample["a"] == 2
+        assert exp.best().sample["a"] == 4
+
+    def test_per_trial_duration_measured_in_worker(self):
+        """duration_s is each trial's own cost, not the batch wall-clock
+        split evenly (the old fiction)."""
+        space = ModelSpace([ValueChoice("a", (1, 2, 3, 4))])
+
+        def uneven(sample):
+            time.sleep(0.25 if sample["a"] == 1 else 0.0)
+            return float(sample["a"])
+
+        exp = ParallelExperiment(space, FunctionalEvaluator(uneven),
+                                 max_trials=4, workers=4, seed=0)
+        exp.run()
+        by_a = {t.sample["a"]: t for t in exp.trials}
+        assert by_a[1].duration_s >= 0.2
+        for a in (2, 3, 4):
+            assert by_a[a].duration_s < 0.1
+
+
+class TestJournalResume:
+    def test_journal_roundtrip_including_failures(self, tmp_path):
+        journal = TrialJournal(tmp_path / "trials.jsonl")
+        space = ModelSpace([ValueChoice("a", (1, 2, 3))])
+        fn = FatalOn(lambda s: s["a"] / 10, {repr({"a": 2})},
+                     key=lambda s: repr(dict(s)))
+        exp = Experiment(space, FunctionalEvaluator(fn), max_trials=3, seed=0,
+                         retry_policy=RetryPolicy.none(), journal=journal)
+        exp.run()
+
+        loaded = journal.load()
+        assert len(loaded) == 3
+        for original, restored in zip(exp.trials, loaded):
+            assert restored.trial_id == original.trial_id
+            assert dict(restored.sample) == dict(original.sample)
+            assert restored.status == original.status
+            assert restored.attempts == original.attempts
+            if original.ok:
+                assert restored.value == pytest.approx(original.value)
+            else:
+                assert np.isnan(restored.value)
+
+    def test_resumed_sweep_identical_to_uninterrupted(self, tmp_path):
+        """Kill after k trials, resume from the journal: same trial DB."""
+        full = Experiment(sppnet_search_space(), FunctionalEvaluator(objective),
+                          max_trials=10, seed=5)
+        full.run()
+
+        path = tmp_path / "trials.jsonl"
+        partial = Experiment(sppnet_search_space(), FunctionalEvaluator(objective),
+                             max_trials=4, seed=5, journal=path)
+        partial.run()  # "killed" after 4 trials
+
+        resumed = Experiment.resume(
+            path, sppnet_search_space(), FunctionalEvaluator(objective),
+            max_trials=10, seed=5)
+        assert len(resumed.trials) == 4  # restored from the journal
+        resumed.run()
+
+        assert len(resumed.trials) == 10
+        assert [t.sample for t in resumed.trials] == [t.sample for t in full.trials]
+        assert [t.trial_id for t in resumed.trials] == [t.trial_id for t in full.trials]
+        assert [t.value for t in resumed.trials] == pytest.approx(
+            [t.value for t in full.trials])
+        assert resumed.best().sample == full.best().sample
+        # the journal now holds the complete run
+        assert len(TrialJournal(path).load()) == 10
+
+    def test_parallel_resume_matches_uninterrupted(self, tmp_path):
+        full = ParallelExperiment(
+            sppnet_search_space(), FunctionalEvaluator(objective),
+            max_trials=9, workers=3, seed=7)
+        full.run()
+
+        path = tmp_path / "trials.jsonl"
+        partial = ParallelExperiment(
+            sppnet_search_space(), FunctionalEvaluator(objective),
+            max_trials=5, workers=3, seed=7, journal=path)
+        partial.run()
+
+        resumed = ParallelExperiment.resume(
+            path, sppnet_search_space(), FunctionalEvaluator(objective),
+            max_trials=9, workers=3, seed=7)
+        resumed.run()
+
+        assert [t.sample for t in resumed.trials] == [t.sample for t in full.trials]
+        assert resumed.best().sample == full.best().sample
+
+    def test_resume_from_missing_journal_starts_fresh(self, tmp_path):
+        exp = Experiment.resume(
+            tmp_path / "new.jsonl", sppnet_search_space(),
+            FunctionalEvaluator(objective), max_trials=3, seed=0)
+        assert exp.trials == []
+        exp.run()
+        assert len(exp.trials) == 3

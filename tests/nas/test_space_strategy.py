@@ -197,12 +197,18 @@ class TestExperiment:
         exp.run()
         assert exp.trials[0].metric("loss") == 0.1
 
-    def test_evaluator_requires_value_key(self):
+    def test_evaluator_without_value_key_is_quarantined(self):
+        from repro.nas import RetryPolicy
+
         exp = Experiment(sppnet_search_space(),
                          FunctionalEvaluator(lambda s: {"oops": 1.0}),
-                         max_trials=1, seed=0)
-        with pytest.raises(KeyError):
-            exp.run()
+                         max_trials=1, seed=0, retry_policy=RetryPolicy.none())
+        exp.run()  # the broken evaluator no longer kills the sweep
+        assert len(exp.trials) == 1
+        assert not exp.trials[0].ok
+        assert "KeyError" in exp.trials[0].error
+        with pytest.raises(RuntimeError):
+            exp.best()
 
     def test_training_evaluator_decodes_config(self):
         captured = []

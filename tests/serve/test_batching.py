@@ -41,8 +41,24 @@ class TestPolicyFromFig6:
         assert policy.max_batch == 2
         assert policy.max_wait_ms == 7.5
 
-    def test_empty_rows_rejected(self, tmp_path):
+    def test_empty_rows_falls_back_with_warning(self, tmp_path):
         artifact = tmp_path / "fig6.json"
         artifact.write_text(json.dumps({"rows": []}))
-        with pytest.raises(ValueError):
-            policy_from_fig6(artifact)
+        with pytest.warns(RuntimeWarning, match="falling back"):
+            policy = policy_from_fig6(artifact)
+        assert policy == BatchPolicy()
+
+    def test_missing_artifact_falls_back_with_warning(self, tmp_path):
+        with pytest.warns(RuntimeWarning, match="falling back"):
+            policy = policy_from_fig6(tmp_path / "nope.json", max_wait_ms=5.0)
+        assert policy.max_batch == BatchPolicy().max_batch
+        assert policy.max_wait_ms == 5.0
+
+    def test_malformed_artifact_falls_back_with_warning(self, tmp_path):
+        artifact = tmp_path / "fig6.json"
+        artifact.write_text("{not json")
+        with pytest.warns(RuntimeWarning, match="falling back"):
+            assert policy_from_fig6(artifact) == BatchPolicy()
+        artifact.write_text(json.dumps({"wrong_key": 1}))
+        with pytest.warns(RuntimeWarning, match="falling back"):
+            assert policy_from_fig6(artifact) == BatchPolicy()

@@ -69,3 +69,54 @@ class TestLRUCache:
         cache.put("a", 1)
         cache.put("a", 2)
         assert cache.get("a") == 2 and len(cache) == 1
+
+
+class TestConcurrentHitRate:
+    def test_hit_rate_never_torn_under_concurrent_traffic(self):
+        """hit_rate is snapshotted under the writers' lock: a concurrent
+        scan must never see a ratio outside [0, 1] or inconsistent
+        counters (the unlocked read could observe hits newer than the
+        total it divides by)."""
+        import threading
+
+        cache = LRUCache(capacity=64)
+        for i in range(64):
+            cache.put(f"k{i}", i)
+        stop = threading.Event()
+        torn = []
+
+        def hammer(seed):
+            rng = np.random.default_rng(seed)
+            while not stop.is_set():
+                key = f"k{int(rng.integers(0, 128))}"  # ~50% hits
+                cache.get(key)
+
+        def scan():
+            while not stop.is_set():
+                rate = cache.hit_rate
+                hits, misses = cache.stats
+                if not 0.0 <= rate <= 1.0:
+                    torn.append(("rate", rate))
+                if hits < 0 or misses < 0:
+                    torn.append(("counts", hits, misses))
+
+        workers = [threading.Thread(target=hammer, args=(s,)) for s in range(4)]
+        scanner = threading.Thread(target=scan)
+        for t in workers + [scanner]:
+            t.start()
+        import time
+        time.sleep(0.3)
+        stop.set()
+        for t in workers + [scanner]:
+            t.join()
+        assert torn == []
+        hits, misses = cache.stats
+        assert hits + misses > 0
+
+    def test_stats_snapshot_is_atomic_pair(self):
+        cache = LRUCache(capacity=2)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.get("b")
+        assert cache.stats == (1, 1)
+        assert cache.hit_rate == pytest.approx(0.5)

@@ -83,3 +83,66 @@ class TestServiceMetrics:
         assert "Latency Statistics (ms):" in text
         assert "Cache Statistics:" in text
         assert "-" * 78 in text  # same rule as repro.profiling reports
+
+
+class TestConcurrentCacheHitRate:
+    def test_hit_rate_bounded_under_concurrent_increments(self):
+        """cache_hit_rate must read each counter exactly once: re-reading
+        hits for the numerator under concurrent traffic reported > 1."""
+        import threading
+
+        m = ServiceMetrics()
+        stop = threading.Event()
+        bad = []
+
+        def writer():
+            while not stop.is_set():
+                m.cache_hits.inc()
+                m.cache_misses.inc()
+
+        def scanner():
+            while not stop.is_set():
+                rate = m.cache_hit_rate()
+                if not 0.0 <= rate <= 1.0:
+                    bad.append(rate)
+
+        threads = [threading.Thread(target=writer) for _ in range(4)]
+        threads.append(threading.Thread(target=scanner))
+        for t in threads:
+            t.start()
+        import time
+        time.sleep(0.3)
+        stop.set()
+        for t in threads:
+            t.join()
+        assert bad == []
+
+
+class TestBreakerTelemetry:
+    def test_transitions_tallied_and_state_tracked(self):
+        m = ServiceMetrics()
+        assert m.breaker_state == "closed"
+        m.record_breaker_transition("closed", "open")
+        m.record_breaker_transition("open", "half_open")
+        m.record_breaker_transition("half_open", "open")
+        m.record_breaker_transition("open", "half_open")
+        m.record_breaker_transition("half_open", "closed")
+        assert m.breaker_state == "closed"
+        assert m.breaker_transitions == {
+            "closed->open": 1,
+            "half_open->closed": 1,
+            "half_open->open": 1,
+            "open->half_open": 2,
+        }
+        snap = m.snapshot()
+        assert snap["breaker_state"] == "closed"
+        assert snap["breaker_transitions"]["open->half_open"] == 2
+
+    def test_resilience_section_in_report(self):
+        m = ServiceMetrics()
+        m.worker_failures.inc(3)
+        m.worker_retries.inc(2)
+        m.degraded_served.inc()
+        text = format_service_report(m, label="unit")
+        assert "Resilience Statistics:" in text
+        assert "closed" in text

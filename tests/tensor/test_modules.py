@@ -158,6 +158,40 @@ class TestLayers:
         assert isinstance(p, Tensor) and p.requires_grad
 
 
+class TestDefaultInitStream:
+    """Layers built without an explicit rng must not share identical
+    weights (the old per-layer ``default_rng(0)`` gave every same-shape
+    layer byte-identical, symmetric init)."""
+
+    def test_default_conv_layers_differ(self):
+        a, b = Conv2d(2, 4, 3), Conv2d(2, 4, 3)
+        assert not np.allclose(a.weight.data, b.weight.data)
+
+    def test_default_linear_layers_differ(self):
+        a, b = Linear(8, 8), Linear(8, 8)
+        assert not np.allclose(a.weight.data, b.weight.data)
+
+    def test_default_dropout_masks_differ(self):
+        a, b = Dropout(0.5), Dropout(0.5)
+        x = Tensor(np.ones((64, 64)))
+        assert not np.allclose(a(x).data, b(x).data)
+
+    def test_seed_module_rng_restores_reproducibility(self):
+        from repro.tensor import seed_module_rng
+
+        seed_module_rng(123)
+        first = [Linear(6, 6).weight.data.copy(), Conv2d(1, 2, 3).weight.data.copy()]
+        seed_module_rng(123)
+        second = [Linear(6, 6).weight.data.copy(), Conv2d(1, 2, 3).weight.data.copy()]
+        for w1, w2 in zip(first, second):
+            assert np.array_equal(w1, w2)
+
+    def test_explicit_rng_still_reproducible(self):
+        a = Linear(5, 5, rng=np.random.default_rng(9))
+        b = Linear(5, 5, rng=np.random.default_rng(9))
+        assert np.array_equal(a.weight.data, b.weight.data)
+
+
 class TestEndToEndTraining:
     def test_small_net_learns_linear_map(self):
         """A 1-layer net fits a random linear teacher (sanity of the stack)."""

@@ -1,0 +1,76 @@
+"""Deterministic fault-injection wrappers."""
+
+import pytest
+
+from repro.faults import FailFirst, FatalOn, Flaky, InjectedFault, Slow
+
+
+class TestFlaky:
+    def test_same_seed_injects_same_faults(self):
+        def run(seed):
+            flaky = Flaky(lambda x: x, rate=0.3, seed=seed)
+            outcomes = []
+            for i in range(50):
+                try:
+                    flaky(i)
+                    outcomes.append(True)
+                except InjectedFault:
+                    outcomes.append(False)
+            return outcomes
+
+        assert run(7) == run(7)
+        assert run(7) != run(8)
+
+    def test_rate_zero_never_fails_rate_one_always(self):
+        ok = Flaky(lambda: "ok", rate=0.0, seed=0)
+        assert all(ok() == "ok" for _ in range(20))
+        bad = Flaky(lambda: "ok", rate=1.0, seed=0)
+        for _ in range(5):
+            with pytest.raises(InjectedFault):
+                bad()
+        assert bad.faults == 5
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            Flaky(lambda: None, rate=1.5)
+
+    def test_custom_exception(self):
+        flaky = Flaky(lambda: None, rate=1.0, exc=TimeoutError)
+        with pytest.raises(TimeoutError):
+            flaky()
+
+
+class TestFailFirst:
+    def test_fails_exactly_n_then_recovers(self):
+        fn = FailFirst(lambda: 42, n=3)
+        for _ in range(3):
+            with pytest.raises(InjectedFault):
+                fn()
+        assert fn() == 42
+        assert fn() == 42
+        assert fn.calls == 5
+
+    def test_zero_never_fails(self):
+        fn = FailFirst(lambda: 1, n=0)
+        assert fn() == 1
+
+
+class TestFatalOn:
+    def test_only_poisoned_inputs_fail(self):
+        fn = FatalOn(lambda x: x * 2, poisoned={"3"}, key=lambda x: str(x))
+        assert fn(2) == 4
+        with pytest.raises(InjectedFault):
+            fn(3)
+        with pytest.raises(InjectedFault):
+            fn(3)  # retries never help
+        assert fn.faults == 2
+
+
+class TestSlow:
+    def test_delegates_after_delay(self):
+        fn = Slow(lambda x: x + 1, delay_s=0.01)
+        assert fn(1) == 2
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            Slow(lambda: None, delay_s=-1.0)
