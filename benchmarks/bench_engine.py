@@ -1,0 +1,134 @@
+"""Compiled inference engine vs eager autograd on the deployment chip.
+
+The paper's Table 2 latency story hinges on single-image inference cost
+for the 100x100x4 NAIP chip.  This benchmark compiles the default
+SPP-Net with :func:`repro.engine.compile` (traced graph, fused
+conv+bias+relu kernels, im2col GEMM, planned buffer arena) and compares
+it against the eager ``predict`` path on exactly that shape, recording
+the kernel-category breakdown and the memory planner's arena statistics
+alongside the speedup.  Emits ``BENCH_engine.json``.
+
+Usage::
+
+    python benchmarks/bench_engine.py [--repeats N] [--out PATH]
+
+Also collectable by pytest (``pytest benchmarks/bench_engine.py``).
+"""
+
+import argparse
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.arch import SPPNetConfig
+from repro.detect import SPPNetDetector, predict
+from repro.engine import compile as engine_compile
+
+CHIP_SHAPE = (4, 100, 100)  # the paper's deployment chip: 100x100, 4 bands
+SPEEDUP_GATE = 3.0
+
+ARCH = SPPNetConfig(name="engine-bench")  # Table 1 default trunk
+
+
+def make_chips(n: int, seed: int = 0) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    return rng.normal(size=(n,) + CHIP_SHAPE).astype(np.float32)
+
+
+def best_latency_ms(run, repeats: int, warmup: int = 2) -> float:
+    """Best-of-``repeats`` wall time of ``run()`` in milliseconds.
+
+    Best-of measures the code, not scheduler noise on a shared runner —
+    the same convention as ``bench_serve``.
+    """
+    for _ in range(warmup):
+        run()
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        run()
+        best = min(best, (time.perf_counter() - start) * 1e3)
+    return best
+
+
+def run_benchmark(repeats: int = 10) -> dict:
+    model = SPPNetDetector(ARCH, seed=0)
+    model.eval()
+    chip = make_chips(1)
+    compiled = engine_compile(model)
+
+    eager_ms = best_latency_ms(
+        lambda: predict(model, chip, batch_size=1), repeats)
+    engine_ms = best_latency_ms(lambda: compiled(chip), repeats)
+
+    # Output equivalence on a fresh batch (fp32 engine vs fp64 eager).
+    batch = make_chips(4, seed=1)
+    conf, boxes = predict(model, batch)
+    eng_conf, eng_boxes = predict(model, batch, backend="engine")
+    max_err = max(float(np.abs(eng_conf - conf).max()),
+                  float(np.abs(eng_boxes - boxes).max()))
+
+    plan = compiled.memory_plan(batch=1)
+    profile = compiled.profile(chip, repeats=repeats)
+
+    return {
+        "benchmark": "engine",
+        "model": ARCH.name,
+        "chip_shape": list(CHIP_SHAPE),
+        "speedup_gate": SPEEDUP_GATE,
+        "eager_ms": eager_ms,
+        "engine_ms": engine_ms,
+        "speedup": eager_ms / engine_ms,
+        "max_abs_error_vs_eager": max_err,
+        "fused_step_kinds": compiled.fused_step_kinds(),
+        "kernel_categories": profile["categories"],
+        "memory_plan": {
+            "planned_peak_bytes": plan.peak_bytes,
+            "naive_bytes": plan.naive_bytes,
+            "reuse_factor": plan.reuse_factor,
+            "arena_slots": len(plan.slot_sizes),
+        },
+    }
+
+
+def test_engine_meets_speedup_gate():
+    """Acceptance: compiled single-chip inference >= 3x eager on the
+    100x100x4 deployment shape, with equivalent outputs."""
+    payload = run_benchmark(repeats=5)
+    assert payload["max_abs_error_vs_eager"] < 1e-5
+    assert payload["memory_plan"]["reuse_factor"] > 1.0
+    assert payload["speedup"] >= SPEEDUP_GATE
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--repeats", type=int, default=10,
+                        help="timed passes per measurement (best-of)")
+    parser.add_argument("--out", type=Path, default=Path("BENCH_engine.json"))
+    args = parser.parse_args()
+
+    payload = run_benchmark(args.repeats)
+    args.out.write_text(json.dumps(payload, indent=2) + "\n")
+
+    print(f"eager  : {payload['eager_ms']:7.2f} ms/chip")
+    print(f"engine : {payload['engine_ms']:7.2f} ms/chip  "
+          f"({payload['speedup']:.2f}x, max err "
+          f"{payload['max_abs_error_vs_eager']:.1e})")
+    for name, row in payload["kernel_categories"].items():
+        print(f"  {name:<12s} {row['ms'] / args.repeats:6.2f} ms  "
+              f"{100 * row['share']:5.1f}%")
+    mem = payload["memory_plan"]
+    print(f"arena  : {mem['planned_peak_bytes'] / 1e6:.2f} MB planned peak "
+          f"vs {mem['naive_bytes'] / 1e6:.2f} MB naive "
+          f"({mem['reuse_factor']:.2f}x reuse) -> {args.out}")
+    if payload["speedup"] < SPEEDUP_GATE:
+        raise SystemExit(
+            f"FAIL: engine speedup {payload['speedup']:.2f}x "
+            f"below the {SPEEDUP_GATE}x gate"
+        )
+
+
+if __name__ == "__main__":
+    main()

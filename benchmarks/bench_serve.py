@@ -62,7 +62,8 @@ def sequential_throughput(model, chips: np.ndarray, repeats: int = 3) -> float:
 
 
 def service_throughput(model, chips: np.ndarray, max_batch: int,
-                       repeats: int = 3) -> tuple[float, dict]:
+                       repeats: int = 3,
+                       backend: str = "eager") -> tuple[float, dict]:
     """Chips/second through the dynamic batcher at one max_batch setting.
 
     The cache is disabled so every request exercises the model path —
@@ -71,7 +72,8 @@ def service_throughput(model, chips: np.ndarray, max_batch: int,
     policy = BatchPolicy(max_batch=max_batch, max_wait_ms=2.0)
     best = 0.0
     with InferenceService(model, policy, cache_size=0,
-                          max_queue=4 * len(chips)) as service:
+                          max_queue=4 * len(chips),
+                          backend=backend) as service:
         for future in service.submit_many(chips[:4]):  # warmup
             future.result()
         for _ in range(repeats):
@@ -102,6 +104,20 @@ def run_benchmark(num_chips: int = 128) -> dict:
             "latency_ms": snapshot["latency_ms"],
         })
 
+    # Backend A/B at the tuned policy: same service, same chips, only the
+    # execution backend differs.  ``completed_by_backend`` (from
+    # ServiceMetrics) proves which path actually produced the results.
+    backend_ab = []
+    for backend in ("eager", "engine"):
+        cps, snapshot = service_throughput(model, chips, tuned.max_batch,
+                                           backend=backend)
+        backend_ab.append({
+            "backend": backend,
+            "throughput_chips_per_s": cps,
+            "completed_by_backend": snapshot["completed_by_backend"],
+            "latency_ms": snapshot["latency_ms"],
+        })
+
     best = max(results, key=lambda r: r["throughput_chips_per_s"])
     return {
         "benchmark": "serve",
@@ -111,6 +127,7 @@ def run_benchmark(num_chips: int = 128) -> dict:
         "fig6_policy_max_batch": tuned.max_batch,
         "sequential_throughput_chips_per_s": seq_cps,
         "service": results,
+        "backend_ab": backend_ab,
         "best": {"max_batch": best["max_batch"],
                  "speedup_vs_sequential": best["speedup_vs_sequential"]},
     }
@@ -140,6 +157,10 @@ def main() -> None:
         print(f"service b={row['max_batch']:<3d}   : "
               f"{row['throughput_chips_per_s']:8.1f} chips/s  "
               f"({row['speedup_vs_sequential']:4.2f}x){marker}")
+    for row in payload["backend_ab"]:
+        print(f"A/B {row['backend']:<7s}: "
+              f"{row['throughput_chips_per_s']:8.1f} chips/s  "
+              f"(completed_by_backend={row['completed_by_backend']})")
     best = payload["best"]
     print(f"best: {best['speedup_vs_sequential']:.2f}x at "
           f"max_batch={best['max_batch']} -> {args.out}")

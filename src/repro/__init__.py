@@ -13,6 +13,8 @@ gpusim     simulated NVIDIA RTX A5500 (kernels, streams, memory, CUDA runtime)
 ios        Inter-Operator Scheduler (DP schedule search + baselines)
 profiling  Nsight-Systems-style profiler over the simulated runtime
 hydro      DEM conditioning, D8 flow routing, crossing-aware breaching
+serve      dynamic-batching inference service over a trained detector
+engine     compiled inference engine (traced, fused, planned, fast kernels)
 """
 
 __version__ = "1.0.0"

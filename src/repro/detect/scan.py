@@ -84,6 +84,7 @@ def scan_scene(
     nms_radius: float = 20.0,
     batch_size: int = 20,
     service: "InferenceService | None" = None,
+    backend: str = "eager",
 ) -> list[SceneDetection]:
     """Detect crossings across a whole scene.
 
@@ -95,7 +96,9 @@ def scan_scene(
     With a ``service`` (:class:`repro.serve.InferenceService`), windows
     are submitted as individual requests instead of one local ``predict``
     call — the service micro-batches them, repeat tiles hit its LRU
-    cache, and concurrent scans share the same worker pool.
+    cache, and concurrent scans share the same worker pool.  The
+    service's own backend applies there; ``backend`` selects the local
+    path's execution (``"engine"`` = compiled inference engine).
     """
     n = scene.size
     origins = scan_origins(n, window, stride)
@@ -108,7 +111,8 @@ def scan_scene(
         confidences = np.array([r.confidence for r in results])
         boxes = np.stack([r.box for r in results])
     else:
-        confidences, boxes = predict(model, tiles, batch_size=batch_size)
+        confidences, boxes = predict(model, tiles, batch_size=batch_size,
+                                     backend=backend)
     detections: list[SceneDetection] = []
     for (r0, c0), conf, box in zip(origins, confidences, boxes):
         if conf < confidence_threshold:

@@ -1,0 +1,506 @@
+"""Compiled inference: bind fused steps to a planned arena and execute.
+
+``compile(model)`` snapshots the model once — trace, fuse, pack weights
+into GEMM-ready layouts — and returns a :class:`CompiledModel`.  Each
+distinct runtime shape ``(batch, H, W)`` then gets a *program*: arena
+buffers sized by the memory planner, array views bound into them, and a
+flat list of zero-argument kernel closures.  Steady-state inference is
+just ``for fn in fns: fn()`` over NumPy ``out=`` kernels — no autograd
+tape, no per-op allocation, no layout shuffling (activations stay NHWC
+between convolutions).
+
+Programs are cached per shape, so a sliding-window scan pays the bind
+cost once for its window shape and once for the final ragged batch.
+Weights are packed once at compile time and shared by every program
+(trace node names are structural, hence stable across input sizes).
+
+Execution is serialized with an internal lock: programs own mutable
+arena state, so one ``CompiledModel`` must not run concurrently with
+itself.  Multi-worker serving should compile one model per worker.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import weakref
+
+import numpy as np
+
+from .fusion import Step, fuse_graph
+from .kernels import (
+    adaptive_bins,
+    adaptive_pool_nhwc,
+    concat_rows,
+    conv_im2col,
+    linear,
+    maxpool_shifted,
+    pack_conv_weight,
+    pack_linear_weight,
+    pooled_to_flat,
+    relu_,
+    shifted_views,
+    sigmoid_into,
+    softmax_rows,
+    strided_windows,
+)
+from .plan import MemoryPlan, plan_memory
+from .trace import Traced, trace
+
+__all__ = ["CompiledModel", "compile", "compiled_for"]
+
+# Kernel-category attribution for profile(), matching the
+# repro.profiling taxonomy (conv / matmul / pooling / elementwise) plus
+# a "memops" bucket for pure data movement.
+_CATEGORY = {
+    "input": "memops",
+    "conv": "conv",
+    "linear": "matmul",
+    "maxpool": "pooling",
+    "maxpool_flatten": "pooling",
+    "adaptive_pool": "pooling",
+    "adaptive_pool_flatten": "pooling",
+    "relu": "elementwise",
+    "sigmoid": "elementwise",
+    "softmax": "elementwise",
+    "flatten": "memops",
+    "concat": "memops",
+    "identity": "memops",
+}
+
+
+def _nhwc(shape: tuple[int, ...], n: int) -> tuple[int, ...]:
+    """Runtime view shape for a per-sample shape: NHWC for spatial
+    tensors, ``(N, F)`` for flat ones."""
+    if len(shape) == 3:
+        c, h, w = shape
+        return (n, h, w, c)
+    return (n,) + shape
+
+
+class _Program:
+    """One bound executable: arena slots, views, kernel closures."""
+
+    def __init__(self, steps: list[Step], outputs: tuple[str, ...],
+                 batch: int, dtype: np.dtype, packed: dict) -> None:
+        self.plan: MemoryPlan = plan_memory(
+            steps, outputs, batch, itemsize=dtype.itemsize
+        )
+        self.batch = batch
+        elems = [size // dtype.itemsize for size in self.plan.slot_sizes]
+        self._slots = [np.empty(n, dtype=dtype) for n in elems]
+
+        shapes = {s.name: s.out_shape for s in steps}
+        views: dict[str, np.ndarray] = {}
+        for step in steps:
+            life = self.plan.lifetimes[step.name]
+            shape = _nhwc(step.out_shape, batch)
+            count = int(np.prod(shape))
+            views[step.name] = self._slots[life.slot][:count].reshape(shape)
+
+        self._input_fn = None
+        self._fns: list[tuple[str, object]] = []  # (category, closure)
+        for step in steps:
+            fn = self._bind(step, views, shapes, batch, dtype, packed)
+            if step.kind == "input":
+                self._input_fn = fn
+            else:
+                self._fns.append((_CATEGORY[step.kind], fn))
+
+        out_views = [views[name] for name in outputs]
+        out_spatial = [len(shapes[name]) == 3 for name in outputs]
+        self._outputs = list(zip(out_views, out_spatial))
+
+    # -- binding ---------------------------------------------------------
+    def _scratch(self, step: Step, batch: int,
+                 dtype: np.dtype) -> np.ndarray:
+        life = self.plan.lifetimes[f"{step.name}:scratch"]
+        return self._slots[life.slot][: batch * step.scratch_elems]
+
+    def _bind(self, step: Step, views: dict, shapes: dict, n: int,
+              dtype: np.dtype, packed: dict):
+        out = views[step.name]
+        ins = [views[name] for name in step.inputs]
+        kind = step.kind
+
+        if kind == "input":
+            spatial = len(step.out_shape) == 3
+            if spatial:
+                def fn(x, out=out):
+                    np.copyto(out, x.transpose(0, 2, 3, 1))
+            else:
+                def fn(x, out=out):
+                    np.copyto(out, x)
+            return fn
+
+        if kind == "conv":
+            k = int(step.attrs["kernel"])
+            stride = int(step.attrs["stride"])
+            pad = int(step.attrs["padding"])
+            c_in = int(step.attrs["in_channels"])
+            has_bias = bool(step.attrs["bias"])
+            f, ho, wo = step.out_shape
+            w_pack, _ = packed[step.attrs["weights"]]
+            relu = bool(step.attrs["relu"])
+            scratch = self._scratch(step, n, dtype)
+            kkc = c_in * k * k
+            width = kkc + (1 if has_bias else 0)
+            cols_elems = n * ho * wo * width
+            cols2d = scratch[:cols_elems].reshape(n * ho * wo, width)
+            # window part of the scratch: axis splits of a view never
+            # copy, so this aliases cols2d even with a bias column
+            cols = cols2d[:, :kkc].reshape(n, ho, wo, k, k, c_in)
+            ones_col = cols2d[:, -1] if has_bias else None
+            assert np.shares_memory(cols, cols2d)  # reshape must not copy
+            out2d = out.reshape(n * ho * wo, f)
+            src = ins[0]
+            if pad:
+                _, h_in, w_in, _ = src.shape
+                hp, wp = h_in + 2 * pad, w_in + 2 * pad
+                padded = scratch[cols_elems:cols_elems + n * hp * wp * c_in]
+                padded = padded.reshape(n, hp, wp, c_in)
+                interior = padded[:, pad:pad + h_in, pad:pad + w_in]
+                win = strided_windows(padded, k, stride)
+
+                def fn(padded=padded, interior=interior, src=src, win=win,
+                       cols=cols, cols2d=cols2d, ones_col=ones_col,
+                       w_pack=w_pack, out2d=out2d, relu=relu):
+                    # slots are recycled between calls, so the zero
+                    # border must be re-established every run
+                    padded.fill(0.0)
+                    np.copyto(interior, src)
+                    conv_im2col(win, cols, cols2d, ones_col, w_pack, out2d,
+                                relu)
+                return fn
+
+            win = strided_windows(src, k, stride)
+
+            def fn(win=win, cols=cols, cols2d=cols2d, ones_col=ones_col,
+                   w_pack=w_pack, out2d=out2d, relu=relu):
+                conv_im2col(win, cols, cols2d, ones_col, w_pack, out2d, relu)
+            return fn
+
+        if kind == "linear":
+            w_pack, bias = packed[step.attrs["weights"]]
+            relu = bool(step.attrs["relu"])
+
+            def fn(in2d=ins[0], w_pack=w_pack, bias=bias, out2d=out,
+                   relu=relu):
+                linear(in2d, w_pack, bias, out2d, relu)
+            return fn
+
+        if kind in ("maxpool", "maxpool_flatten"):
+            k = int(step.attrs["kernel"])
+            stride = int(step.attrs["stride"])
+            relu = bool(step.attrs.get("relu"))
+            src = ins[0]
+            _, h, w, c = src.shape
+            ho = (h - k) // stride + 1
+            wo = (w - k) // stride + 1
+            if kind == "maxpool":
+                pooled = out
+            else:
+                staging = self._scratch(step, n, dtype)
+                pooled = staging[: n * ho * wo * c].reshape(n, ho, wo, c)
+            views = shifted_views(src, k, stride, ho, wo)
+
+            def reduce_fn(views=views, pooled=pooled, relu=relu):
+                maxpool_shifted(views, pooled)
+                if relu:
+                    # deferred conv activation (ReLU commutes with max),
+                    # one pass over the k*k-times smaller pooled tensor
+                    np.maximum(pooled, 0.0, out=pooled)
+            if kind == "maxpool":
+                return reduce_fn
+
+            out_nchw = out.reshape(n, c, ho, wo)
+
+            def fn(reduce_fn=reduce_fn, pooled=pooled, out_nchw=out_nchw):
+                reduce_fn()
+                pooled_to_flat(pooled, out_nchw)
+            return fn
+
+        if kind in ("adaptive_pool", "adaptive_pool_flatten"):
+            lv = int(step.attrs["output_size"])
+            src = ins[0]
+            _, h, w, c = src.shape
+            ridx, _ = adaptive_bins(h, lv)
+            cidx, _ = adaptive_bins(w, lv)
+            if kind == "adaptive_pool":
+                def fn(src=src, ridx=ridx, cidx=cidx, out=out):
+                    adaptive_pool_nhwc(src, ridx, cidx, out)
+                return fn
+            staging = self._scratch(step, n, dtype)
+            pooled = staging[: n * lv * lv * c].reshape(n, lv, lv, c)
+            out_nchw = out.reshape(n, c, lv, lv)
+
+            def fn(src=src, ridx=ridx, cidx=cidx, pooled=pooled,
+                   out_nchw=out_nchw):
+                adaptive_pool_nhwc(src, ridx, cidx, pooled)
+                pooled_to_flat(pooled, out_nchw)
+            return fn
+
+        if kind == "relu":
+            def fn(src=ins[0], out=out):
+                relu_(src, out)
+            return fn
+
+        if kind == "sigmoid":
+            def fn(src=ins[0], out=out):
+                sigmoid_into(src, out)
+            return fn
+
+        if kind == "softmax":
+            def fn(src=ins[0], out=out):
+                softmax_rows(src, out)
+            return fn
+
+        if kind == "flatten":
+            src = ins[0]
+            if src.ndim == 4:
+                _, h, w, c = src.shape
+                out_nchw = out.reshape(n, c, h, w)
+
+                def fn(src=src, out_nchw=out_nchw):
+                    pooled_to_flat(src, out_nchw)
+            else:
+                def fn(src=src, out=out):
+                    np.copyto(out, src)
+            return fn
+
+        if kind == "concat":
+            axis = 3 if out.ndim == 4 else 1
+
+            def fn(parts=ins, out=out, axis=axis):
+                concat_rows(parts, out, axis)
+            return fn
+
+        if kind == "identity":
+            def fn(src=ins[0], out=out):
+                np.copyto(out, src)
+            return fn
+
+        raise ValueError(f"no binding for step kind {kind!r}")  # pragma: no cover
+
+    # -- execution -------------------------------------------------------
+    def run(self, x: np.ndarray) -> list[np.ndarray]:
+        self._input_fn(x)
+        for _, fn in self._fns:
+            fn()
+        return self._extract()
+
+    def run_timed(self, x: np.ndarray, acc: dict[str, float]) -> list[np.ndarray]:
+        t0 = time.perf_counter()
+        self._input_fn(x)
+        t1 = time.perf_counter()
+        acc["memops"] = acc.get("memops", 0.0) + (t1 - t0)
+        for category, fn in self._fns:
+            t0 = time.perf_counter()
+            fn()
+            t1 = time.perf_counter()
+            acc[category] = acc.get(category, 0.0) + (t1 - t0)
+        return self._extract()
+
+    def _extract(self) -> list[np.ndarray]:
+        return [
+            view.transpose(0, 3, 1, 2).copy() if spatial else view.copy()
+            for view, spatial in self._outputs
+        ]
+
+
+class CompiledModel:
+    """A model lowered to fused, memory-planned NumPy programs.
+
+    Calling it mirrors the eager module: one ndarray (or Tensor) in,
+    the module's output(s) out — a tuple when the traced module returns
+    several values (the detector's ``(class_logits, boxes)``), a single
+    array otherwise.  Outputs are returned in eager NCHW / ``(N, F)``
+    layouts regardless of the internal NHWC representation.
+    """
+
+    def __init__(self, module, input_shape: tuple[int, ...],
+                 dtype=np.float32) -> None:
+        self.module = module
+        self.dtype = np.dtype(dtype)
+        self.input_shape = tuple(int(d) for d in input_shape)
+        traced = trace(module, self.input_shape)
+        self.graph = traced.graph
+        self.outputs = traced.outputs
+        self.steps: list[Step] = fuse_graph(traced.graph, traced.outputs)
+        self._packed = self._pack(traced)
+        self._step_cache: dict[tuple[int, ...], list[Step]] = {
+            self.input_shape: self.steps
+        }
+        self._programs: dict[tuple[int, ...], _Program] = {}
+        self._lock = threading.Lock()
+
+    # -- compile-time ----------------------------------------------------
+    def _pack(self, traced: Traced) -> dict[str, tuple]:
+        """Snapshot weights into GEMM layouts (copies, taken once)."""
+        packed: dict[str, tuple] = {}
+        for name, params in traced.params.items():
+            weight = params["weight"]
+            bias = params.get("bias")
+            if weight.ndim == 4:
+                # conv bias rides inside the packed matrix (ones-column
+                # trick), so the entry is a single GEMM operand
+                packed[name] = (pack_conv_weight(weight, bias, self.dtype),
+                                None)
+            else:
+                b_pack = None if bias is None else \
+                    np.ascontiguousarray(bias, dtype=self.dtype)
+                packed[name] = (pack_linear_weight(weight, self.dtype),
+                                b_pack)
+        return packed
+
+    def _steps_for(self, sample_shape: tuple[int, ...]) -> list[Step]:
+        steps = self._step_cache.get(sample_shape)
+        if steps is None:
+            traced = trace(self.module, sample_shape)
+            if tuple(traced.outputs) != tuple(self.outputs):
+                raise ValueError(
+                    "model structure changed between compile and execution"
+                )
+            for name in traced.params:
+                if name not in self._packed:
+                    raise ValueError(
+                        f"node {name!r} has no packed weights; the model "
+                        "gained parameters after compile()"
+                    )
+            steps = fuse_graph(traced.graph, traced.outputs)
+            self._step_cache[sample_shape] = steps
+        return steps
+
+    def _program_for(self, batch: int,
+                     sample_shape: tuple[int, ...]) -> _Program:
+        key = (batch,) + sample_shape
+        prog = self._programs.get(key)
+        if prog is None:
+            steps = self._steps_for(sample_shape)
+            prog = _Program(steps, self.outputs, batch, self.dtype,
+                            self._packed)
+            self._programs[key] = prog
+        return prog
+
+    # -- execution -------------------------------------------------------
+    def __call__(self, x):
+        data = np.asarray(getattr(x, "data", x))
+        if data.ndim != len(self.input_shape) + 1:
+            raise ValueError(
+                f"expected batched input with {len(self.input_shape) + 1} "
+                f"dims, got shape {data.shape}"
+            )
+        with self._lock:
+            prog = self._program_for(data.shape[0], tuple(data.shape[1:]))
+            results = prog.run(data)
+        return results[0] if len(results) == 1 else tuple(results)
+
+    def predict(self, images: np.ndarray,
+                batch_size: int = 20) -> tuple[np.ndarray, np.ndarray]:
+        """Drop-in for :func:`repro.detect.predict` on a traced detector:
+        returns (crossing confidences, normalized boxes)."""
+        if len(self.outputs) != 2:
+            raise ValueError(
+                "predict() requires a detector-style compiled model with "
+                f"(logits, boxes) outputs, this one has {len(self.outputs)}"
+            )
+        confidences: list[np.ndarray] = []
+        boxes: list[np.ndarray] = []
+        for start in range(0, len(images), batch_size):
+            logits, box = self(images[start:start + batch_size])
+            shifted = logits - logits.max(axis=1, keepdims=True)
+            np.exp(shifted, out=shifted)
+            probs = shifted / shifted.sum(axis=1, keepdims=True)
+            confidences.append(probs[:, 1].copy())
+            boxes.append(box)
+        return np.concatenate(confidences), np.concatenate(boxes)
+
+    # -- introspection ---------------------------------------------------
+    def memory_plan(self, batch: int = 1,
+                    sample_shape: tuple[int, ...] | None = None) -> MemoryPlan:
+        """The planner's arena assignment at ``batch`` samples."""
+        with self._lock:
+            steps = self._steps_for(sample_shape or self.input_shape)
+        return plan_memory(steps, self.outputs, batch,
+                           itemsize=self.dtype.itemsize)
+
+    def planned_peak_bytes(self, batch: int = 1) -> int:
+        """Arena bytes the compiled program holds at ``batch`` — the
+        reuse-aware counterpart of ``graph.analysis.activation_bytes``."""
+        return self.memory_plan(batch).peak_bytes
+
+    def fused_step_kinds(self) -> list[str]:
+        return [s.kind for s in self.steps]
+
+    def profile(self, x: np.ndarray, repeats: int = 10,
+                warmup: int = 2) -> dict:
+        """Kernel-category timing of one input shape.
+
+        Returns ``{"total_ms", "per_run_ms", "categories": {name:
+        {"ms", "share"}}}`` with categories matching the
+        ``repro.profiling`` taxonomy.
+        """
+        if repeats < 1:
+            raise ValueError("repeats must be >= 1")
+        data = np.asarray(getattr(x, "data", x))
+        acc: dict[str, float] = {}
+        with self._lock:
+            prog = self._program_for(data.shape[0], tuple(data.shape[1:]))
+            for _ in range(warmup):
+                prog.run(data)
+            for _ in range(repeats):
+                prog.run_timed(data, acc)
+        total = sum(acc.values())
+        return {
+            "total_ms": total * 1e3,
+            "per_run_ms": total * 1e3 / repeats,
+            "categories": {
+                name: {"ms": sec * 1e3,
+                       "share": sec / total if total else 0.0}
+                for name, sec in sorted(acc.items(), key=lambda kv: -kv[1])
+            },
+        }
+
+
+def compile(model, input_shape: tuple[int, ...] | None = None,
+            dtype=np.float32) -> CompiledModel:
+    """Compile ``model`` for fast inference.
+
+    ``input_shape`` is the nominal per-sample shape ``(C, H, W)``; for an
+    :class:`~repro.detect.SPPNetDetector` it defaults to the paper's
+    100x100 chip in the architecture's band count.  Other spatial shapes
+    still execute (SPP makes the network size-agnostic) — they just bind
+    their own programs on first use.
+
+    ``dtype`` selects the arena precision: ``float32`` (default) is the
+    deployment configuration; ``float64`` reproduces eager numerics
+    bit-for-bit and exists for equivalence testing.
+    """
+    if input_shape is None:
+        config = getattr(model, "config", None)
+        if config is None or not hasattr(config, "in_channels"):
+            raise ValueError(
+                "input_shape is required for models without an "
+                "SPPNetConfig-style .config"
+            )
+        side = max(100, config.min_input_size())
+        input_shape = (config.in_channels, side, side)
+    return CompiledModel(model, input_shape, dtype=dtype)
+
+
+_COMPILED_CACHE: weakref.WeakKeyDictionary = weakref.WeakKeyDictionary()
+
+
+def compiled_for(model, dtype=np.float32) -> CompiledModel:
+    """Per-model-instance compile cache used by ``backend="engine"``
+    call sites (``predict``, ``scan_scene``, the NAS latency evaluator).
+
+    The compiled program snapshots weights at first use; training the
+    model afterwards requires a fresh :func:`compile` (or a new model
+    object) to pick up the new parameters.
+    """
+    compiled = _COMPILED_CACHE.get(model)
+    if compiled is None or compiled.dtype != np.dtype(dtype):
+        compiled = compile(model, dtype=dtype)
+        _COMPILED_CACHE[model] = compiled
+    return compiled

@@ -1,0 +1,214 @@
+"""Operator fusion: lower a traced graph into an executable step list.
+
+The fusion pass walks the IR in topological order and greedily merges
+producer/consumer pairs whose composition has a cheaper fused kernel than
+the two operators run separately:
+
+* ``CONV2D + RELU``   -> one ``conv`` step (ReLU applied in the GEMM
+  output buffer, saving a full activation read+write);
+* ``LINEAR + RELU``   -> one ``linear`` step (same argument);
+* ``MAXPOOL + FLATTEN`` and ``ADAPTIVE_MAXPOOL + FLATTEN`` -> one
+  pooling step that writes the flattened, channel-major vector directly
+  (the pooled NCHW intermediate never materializes as a planned tensor).
+
+A fusion only fires when the producer has exactly one consumer and is not
+itself a requested graph output — otherwise its value must exist
+standalone.  Each :class:`Step` records the IR nodes it covers so tests
+and docs can audit what fused.
+
+Steps name their result after the *last* covered node, which keeps the
+output-name mapping trivial: requested outputs always survive as step
+results (a fused ``relu2`` is the name of the fused conv step).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from ..graph.ir import Graph, OpType
+
+__all__ = ["Step", "FusionError", "fuse_graph"]
+
+
+class FusionError(ValueError):
+    """Raised when a traced graph cannot be lowered to executable steps."""
+
+
+@dataclass(frozen=True)
+class Step:
+    """One executable unit of a compiled program.
+
+    kind      : kernel selector ('input', 'conv', 'linear', 'maxpool',
+                'maxpool_flatten', 'adaptive_pool', 'adaptive_pool_flatten',
+                'relu', 'sigmoid', 'softmax', 'flatten', 'concat').
+    name      : name of the tensor this step produces (= last covered node).
+    inputs    : names of consumed tensors.
+    out_shape : per-sample shape of the produced tensor.
+    attrs     : static kernel attributes (kernel/stride/relu/...).
+    covers    : IR node names this step implements, in order.
+    scratch_elems : per-sample elements of step-local scratch (im2col
+                columns, pooled staging buffer) the memory planner must
+                reserve for the duration of this step.
+    """
+
+    kind: str
+    name: str
+    inputs: tuple[str, ...]
+    out_shape: tuple[int, ...]
+    attrs: Mapping[str, object] = field(default_factory=dict)
+    covers: tuple[str, ...] = ()
+    scratch_elems: int = 0
+
+    @property
+    def out_elems(self) -> int:
+        n = 1
+        for d in self.out_shape:
+            n *= d
+        return n
+
+
+def _elems(shape: tuple[int, ...]) -> int:
+    n = 1
+    for d in shape:
+        n *= d
+    return n
+
+
+def _sole_successor(graph: Graph, succ: dict[str, list[str]], name: str,
+                    op_type: OpType, outputs: set[str]) -> str | None:
+    """Name of ``name``'s only consumer if it has type ``op_type`` and
+    fusing would not hide a requested output; else ``None``."""
+    if name in outputs:
+        return None
+    consumers = succ[name]
+    if len(consumers) != 1:
+        return None
+    nxt = consumers[0]
+    if graph[nxt].op_type is not op_type:
+        return None
+    return nxt
+
+
+def fuse_graph(graph: Graph, outputs: tuple[str, ...]) -> list[Step]:
+    """Lower ``graph`` to a fused step list producing ``outputs``."""
+    succ = graph.successor_map()
+    out_set = set(outputs)
+    for name in outputs:
+        if name not in graph:
+            raise FusionError(f"requested output {name!r} is not in the graph")
+    consumed: set[str] = set()
+    relu_after_pool: set[str] = set()
+    steps: list[Step] = []
+
+    for op in graph.nodes():
+        if op.name in consumed:
+            continue
+        t = op.op_type
+
+        if t is OpType.INPUT:
+            steps.append(Step("input", op.name, (), op.out_shape,
+                              covers=(op.name,)))
+            continue
+
+        if t is OpType.CONV2D:
+            relu = _sole_successor(graph, succ, op.name, OpType.RELU, out_set)
+            covers = (op.name,) if relu is None else (op.name, relu)
+            result = covers[-1]
+            apply_relu = relu is not None
+            if relu is not None:
+                consumed.add(relu)
+                # ReLU commutes with max pooling, so when the activated
+                # tensor feeds exactly one MAXPOOL, apply ReLU to the
+                # (k*k-times smaller) pooled output instead.
+                pool = _sole_successor(graph, succ, relu, OpType.MAXPOOL,
+                                       out_set)
+                if pool is not None:
+                    apply_relu = False
+                    relu_after_pool.add(pool)
+            k = int(op.attr("kernel"))
+            c_in = int(op.attr("in_channels"))
+            p = int(op.attr("padding", 0))
+            has_bias = bool(op.attr("bias", True))
+            f, ho, wo = op.out_shape
+            # im2col column matrix: (ho*wo) rows of c_in*k*k values plus
+            # a ones column when the bias rides in the GEMM; a padded
+            # conv additionally stages the zero-bordered input.
+            scratch = ho * wo * (c_in * k * k + (1 if has_bias else 0))
+            if p:
+                _, h_in, w_in = graph[op.inputs[0]].out_shape
+                scratch += (h_in + 2 * p) * (w_in + 2 * p) * c_in
+            steps.append(Step(
+                "conv", result, op.inputs, op.out_shape,
+                attrs={"kernel": k, "stride": int(op.attr("stride")),
+                       "padding": p,
+                       "in_channels": c_in, "relu": apply_relu,
+                       "bias": has_bias, "weights": op.name},
+                covers=covers,
+                scratch_elems=scratch,
+            ))
+            continue
+
+        if t is OpType.LINEAR:
+            relu = _sole_successor(graph, succ, op.name, OpType.RELU, out_set)
+            covers = (op.name,) if relu is None else (op.name, relu)
+            result = covers[-1]
+            if relu is not None:
+                consumed.add(relu)
+            steps.append(Step(
+                "linear", result, op.inputs, op.out_shape,
+                attrs={"in_features": int(op.attr("in_features")),
+                       "relu": relu is not None, "weights": op.name},
+                covers=covers,
+            ))
+            continue
+
+        if t is OpType.MAXPOOL:
+            flat = _sole_successor(graph, succ, op.name, OpType.FLATTEN, out_set)
+            attrs = {"kernel": int(op.attr("kernel")),
+                     "stride": int(op.attr("stride")),
+                     "relu": op.name in relu_after_pool}
+            if flat is None:
+                steps.append(Step("maxpool", op.name, op.inputs, op.out_shape,
+                                  attrs=attrs, covers=(op.name,)))
+            else:
+                consumed.add(flat)
+                steps.append(Step(
+                    "maxpool_flatten", flat, op.inputs,
+                    graph[flat].out_shape, attrs=attrs,
+                    covers=(op.name, flat),
+                    # pooled NHWC staging buffer before the channel-major
+                    # reorder into the flat output.
+                    scratch_elems=_elems(op.out_shape),
+                ))
+            continue
+
+        if t is OpType.ADAPTIVE_MAXPOOL:
+            flat = _sole_successor(graph, succ, op.name, OpType.FLATTEN, out_set)
+            attrs = {"output_size": int(op.attr("output_size"))}
+            if flat is None:
+                steps.append(Step("adaptive_pool", op.name, op.inputs,
+                                  op.out_shape, attrs=attrs, covers=(op.name,)))
+            else:
+                consumed.add(flat)
+                steps.append(Step(
+                    "adaptive_pool_flatten", flat, op.inputs,
+                    graph[flat].out_shape, attrs=attrs,
+                    covers=(op.name, flat),
+                    scratch_elems=_elems(op.out_shape),
+                ))
+            continue
+
+        if t in (OpType.RELU, OpType.SIGMOID, OpType.SOFTMAX, OpType.FLATTEN,
+                 OpType.CONCAT, OpType.IDENTITY):
+            steps.append(Step(t.value, op.name, op.inputs, op.out_shape,
+                              covers=(op.name,)))
+            continue
+
+        raise FusionError(f"no lowering for op type {t} (node {op.name!r})")
+
+    produced = {s.name for s in steps}
+    missing = out_set - produced
+    if missing:  # pragma: no cover - defensive; fusion preserves outputs
+        raise FusionError(f"outputs lost during fusion: {sorted(missing)}")
+    return steps

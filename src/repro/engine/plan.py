@@ -1,0 +1,143 @@
+"""Liveness-based memory planning for compiled programs.
+
+Every step output (and every step-local scratch buffer, e.g. an im2col
+column matrix) is assigned to a *slot* in a shared arena.  Slots are
+recycled greedily: when a tensor dies — its last consumer has executed —
+its slot returns to a free list, and later allocations pick the
+best-fitting free slot (growing it if necessary) before opening a new
+one.  Graph outputs are pinned alive to the end of the program.
+
+The resulting ``peak_bytes`` (the arena size) is what a deployment
+actually holds in activation memory, as opposed to the no-reuse
+``naive_bytes`` upper bound that
+:func:`repro.graph.analysis.activation_bytes` reports — the planner is
+the precise counterpart of that conservative estimate, and its numbers
+can be fed to :mod:`repro.gpusim`'s memory checks directly.
+
+Allocation ordering guarantees correctness for in-place-free execution:
+a step's output slot (and scratch) is reserved *before* its input slots
+are released, so a kernel never reads and writes the same memory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .fusion import Step
+
+__all__ = ["Lifetime", "MemoryPlan", "plan_memory"]
+
+
+@dataclass(frozen=True)
+class Lifetime:
+    """Arena residency of one tensor (or scratch buffer).
+
+    birth : index of the step that writes it.
+    death : index of the last step that reads it (== birth for scratch;
+            ``len(steps) - 1`` for pinned program outputs).
+    nbytes: allocation size at the planned batch.
+    slot  : arena slot index the tensor was assigned.
+    """
+
+    name: str
+    birth: int
+    death: int
+    nbytes: int
+    slot: int
+
+
+@dataclass(frozen=True)
+class MemoryPlan:
+    """Slot assignment for every tensor a program touches.
+
+    slot_sizes  : final byte size of each arena slot.
+    peak_bytes  : arena footprint = ``sum(slot_sizes)``.
+    naive_bytes : footprint with no reuse (every tensor held at once).
+    """
+
+    batch: int
+    itemsize: int
+    lifetimes: dict[str, Lifetime]
+    slot_sizes: tuple[int, ...]
+    peak_bytes: int
+    naive_bytes: int
+
+    @property
+    def reuse_factor(self) -> float:
+        """How many times over the arena is recycled (>= 1.0)."""
+        return self.naive_bytes / self.peak_bytes if self.peak_bytes else 1.0
+
+
+class _Arena:
+    def __init__(self) -> None:
+        self.sizes: list[int] = []
+        self.free: list[int] = []
+
+    def acquire(self, nbytes: int) -> int:
+        # Best fit: smallest free slot that already holds nbytes.  If none
+        # fits, grow the largest free slot (cheapest total growth).  Only
+        # open a fresh slot when nothing is free.
+        fitting = [s for s in self.free if self.sizes[s] >= nbytes]
+        if fitting:
+            slot = min(fitting, key=lambda s: self.sizes[s])
+        elif self.free:
+            slot = max(self.free, key=lambda s: self.sizes[s])
+            self.sizes[slot] = nbytes
+        else:
+            slot = len(self.sizes)
+            self.sizes.append(nbytes)
+            self.free.append(slot)
+        self.free.remove(slot)
+        return slot
+
+    def release(self, slot: int) -> None:
+        self.free.append(slot)
+
+
+def plan_memory(steps: list[Step], outputs: tuple[str, ...], batch: int,
+                itemsize: int = 4) -> MemoryPlan:
+    """Assign every step output and scratch buffer to an arena slot."""
+    if batch < 1:
+        raise ValueError(f"batch must be >= 1, got {batch}")
+    last = len(steps) - 1
+    death: dict[str, int] = {}
+    for i, step in enumerate(steps):
+        death[step.name] = i  # a value never read still occupies its slot
+        for name in step.inputs:
+            death[name] = i
+    for name in outputs:
+        death[name] = last
+
+    arena = _Arena()
+    lifetimes: dict[str, Lifetime] = {}
+    slot_of: dict[str, int] = {}
+    naive = 0
+
+    for i, step in enumerate(steps):
+        out_bytes = batch * step.out_elems * itemsize
+        naive += out_bytes
+        slot = arena.acquire(out_bytes)
+        slot_of[step.name] = slot
+        lifetimes[step.name] = Lifetime(step.name, i, death[step.name],
+                                        out_bytes, slot)
+        if step.scratch_elems:
+            s_bytes = batch * step.scratch_elems * itemsize
+            naive += s_bytes  # the eager path allocates these fresh per op
+            s_slot = arena.acquire(s_bytes)
+            lifetimes[f"{step.name}:scratch"] = Lifetime(
+                f"{step.name}:scratch", i, i, s_bytes, s_slot)
+            arena.release(s_slot)
+        for name in step.inputs:
+            if death[name] == i:
+                arena.release(slot_of[name])
+        if death[step.name] == i and step.name not in outputs:
+            arena.release(slot)
+
+    return MemoryPlan(
+        batch=batch,
+        itemsize=itemsize,
+        lifetimes=lifetimes,
+        slot_sizes=tuple(arena.sizes),
+        peak_bytes=sum(arena.sizes),
+        naive_bytes=naive,
+    )

@@ -1,0 +1,314 @@
+"""Trace :mod:`repro.tensor` modules into the :mod:`repro.graph` IR.
+
+Tracing is structural: the tracer walks the module tree (the same walk
+``Module.modules()`` performs) and emits one IR operator per layer,
+propagating per-sample shapes symbolically.  The result is the exact
+graph family :func:`repro.graph.build_sppnet_graph` produces from an
+:class:`~repro.arch.SPPNetConfig`, but obtained from a *live* model —
+with its trained weights captured alongside each node — so the compiled
+engine, the IOS scheduler, and the gpusim cost model all consume one IR.
+
+Inference-time simplifications are applied during the trace:
+
+* ``Dropout`` disappears (identity in eval mode);
+* ``BatchNorm2d`` is folded into the preceding convolution's weights
+  (running-statistics semantics — the standard deployment constant fold
+  the :class:`~repro.arch.SPPNetConfig` docs promise);
+* the detector's box head records an explicit ``SIGMOID`` node so the
+  traced outputs match ``SPPNetDetector.forward`` exactly.
+
+Support for new module types is open: register a handler with
+:func:`register_tracer`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from ..graph.ir import Graph, Operator, OpType
+from ..tensor import functional as F
+from ..tensor.modules import (
+    AdaptiveMaxPool2d,
+    BatchNorm2d,
+    Conv2d,
+    Dropout,
+    Flatten,
+    Linear,
+    MaxPool2d,
+    Module,
+    ReLU,
+    Sequential,
+    Sigmoid,
+    SpatialPyramidPooling,
+)
+
+__all__ = ["TraceError", "Traced", "trace", "register_tracer"]
+
+
+class TraceError(ValueError):
+    """Raised when a module (or module arrangement) cannot be traced."""
+
+
+@dataclass(frozen=True)
+class Traced:
+    """Result of tracing a module.
+
+    graph   : the IR DAG (validated, topologically ordered).
+    params  : node name -> {"weight": ..., "bias": ...} ndarrays
+              (references to the live parameters at trace time, with any
+              BatchNorm folding already applied).
+    outputs : ordered names of the nodes whose values the module returns.
+    """
+
+    graph: Graph
+    params: dict[str, dict[str, np.ndarray]]
+    outputs: tuple[str, ...]
+
+
+class _Tracer:
+    """Mutable trace state: the growing graph plus naming counters."""
+
+    def __init__(self, name: str) -> None:
+        self.graph = Graph(name=name)
+        self.params: dict[str, dict[str, np.ndarray]] = {}
+        self._counts: dict[str, int] = {}
+
+    def fresh(self, kind: str) -> str:
+        # Structural counters: the same module traced at a different
+        # input size yields identical node names, which lets compiled
+        # programs share packed weights across spatial shapes.
+        self._counts[kind] = self._counts.get(kind, 0) + 1
+        return f"{kind}{self._counts[kind]}"
+
+    def emit(self, name: str, op_type: OpType, inputs: tuple[str, ...],
+             out_shape: tuple[int, ...], attrs: dict | None = None,
+             params: dict[str, np.ndarray] | None = None) -> str:
+        self.graph.add(Operator(name, op_type, inputs, out_shape, attrs or {}))
+        if params:
+            self.params[name] = params
+        return name
+
+    # -- dispatch --------------------------------------------------------
+    def trace_module(self, module: Module, prev: str,
+                     shape: tuple[int, ...]) -> tuple[str, tuple[int, ...]]:
+        """Emit IR for ``module`` applied to node ``prev``; returns the
+        output node name and its per-sample shape."""
+        for cls in type(module).__mro__:
+            handler = _HANDLERS.get(cls)
+            if handler is not None:
+                return handler(self, module, prev, shape)
+        raise TraceError(
+            f"cannot trace module of type {type(module).__name__}; "
+            f"register a handler with repro.engine.register_tracer"
+        )
+
+
+_HANDLERS: dict[type, Callable] = {}
+
+
+def register_tracer(module_type: type) -> Callable:
+    """Class decorator registering a trace handler for ``module_type``.
+
+    The handler signature is ``fn(tracer, module, prev, shape) ->
+    (name, shape)`` where ``shape`` is the per-sample input shape.
+    """
+
+    def deco(fn: Callable) -> Callable:
+        _HANDLERS[module_type] = fn
+        return fn
+
+    return deco
+
+
+def _spatial(shape: tuple[int, ...], module: Module) -> tuple[int, int, int]:
+    if len(shape) != 3:
+        raise TraceError(
+            f"{type(module).__name__} expects a (C, H, W) input, got {shape}"
+        )
+    return shape  # type: ignore[return-value]
+
+
+@register_tracer(Sequential)
+def _trace_sequential(t: _Tracer, module: Sequential, prev: str,
+                      shape: tuple[int, ...]) -> tuple[str, tuple[int, ...]]:
+    for layer in module:
+        prev, shape = t.trace_module(layer, prev, shape)
+    return prev, shape
+
+
+@register_tracer(Conv2d)
+def _trace_conv(t: _Tracer, module: Conv2d, prev: str,
+                shape: tuple[int, ...]) -> tuple[str, tuple[int, ...]]:
+    c, h, w = _spatial(shape, module)
+    if c != module.in_channels:
+        raise TraceError(
+            f"conv expects {module.in_channels} channels, input has {c}"
+        )
+    k, s, p = module.kernel_size, module.stride, module.padding
+    try:
+        ho = F.conv_output_size(h, k, s, p)
+        wo = F.conv_output_size(w, k, s, p)
+    except ValueError as exc:  # collapsed output: report as a trace failure
+        raise TraceError(str(exc)) from exc
+    params = {"weight": module.weight.data}
+    if module.bias is not None:
+        params["bias"] = module.bias.data
+    name = t.emit(
+        t.fresh("conv"), OpType.CONV2D, (prev,), (module.out_channels, ho, wo),
+        attrs={"in_channels": c, "kernel": k, "stride": s, "padding": p,
+               "in_size": h, "in_h": h, "in_w": w,
+               "bias": module.bias is not None},
+        params=params,
+    )
+    return name, (module.out_channels, ho, wo)
+
+
+@register_tracer(BatchNorm2d)
+def _trace_batchnorm(t: _Tracer, module: BatchNorm2d, prev: str,
+                     shape: tuple[int, ...]) -> tuple[str, tuple[int, ...]]:
+    producer = t.graph[prev]
+    if producer.op_type is not OpType.CONV2D or prev not in t.params:
+        raise TraceError(
+            "BatchNorm2d can only be traced immediately after a Conv2d "
+            "(it is folded into the convolution weights)"
+        )
+    scale = module.weight.data / np.sqrt(module.running_var + module.eps)
+    shift = module.bias.data - module.running_mean * scale
+    folded = dict(t.params[prev])
+    folded["weight"] = folded["weight"] * scale[:, None, None, None]
+    folded["bias"] = folded.get("bias", 0.0) * scale + shift
+    t.params[prev] = folded
+    producer.attrs["bias"] = True  # folding adds a bias term if absent
+    return prev, shape
+
+
+@register_tracer(ReLU)
+def _trace_relu(t: _Tracer, module: ReLU, prev: str,
+                shape: tuple[int, ...]) -> tuple[str, tuple[int, ...]]:
+    return t.emit(t.fresh("relu"), OpType.RELU, (prev,), shape), shape
+
+
+@register_tracer(Sigmoid)
+def _trace_sigmoid(t: _Tracer, module: Sigmoid, prev: str,
+                   shape: tuple[int, ...]) -> tuple[str, tuple[int, ...]]:
+    return t.emit(t.fresh("sigmoid"), OpType.SIGMOID, (prev,), shape), shape
+
+
+@register_tracer(Dropout)
+def _trace_dropout(t: _Tracer, module: Dropout, prev: str,
+                   shape: tuple[int, ...]) -> tuple[str, tuple[int, ...]]:
+    return prev, shape  # identity at inference
+
+
+@register_tracer(MaxPool2d)
+def _trace_maxpool(t: _Tracer, module: MaxPool2d, prev: str,
+                   shape: tuple[int, ...]) -> tuple[str, tuple[int, ...]]:
+    c, h, w = _spatial(shape, module)
+    k, s = module.kernel_size, module.stride
+    ho = F.pool_output_size(h, k, s)
+    wo = F.pool_output_size(w, k, s)
+    name = t.emit(
+        t.fresh("pool"), OpType.MAXPOOL, (prev,), (c, ho, wo),
+        attrs={"kernel": k, "stride": s, "in_size": h, "in_h": h, "in_w": w},
+    )
+    return name, (c, ho, wo)
+
+
+@register_tracer(AdaptiveMaxPool2d)
+def _trace_adaptive(t: _Tracer, module: AdaptiveMaxPool2d, prev: str,
+                    shape: tuple[int, ...]) -> tuple[str, tuple[int, ...]]:
+    c, h, w = _spatial(shape, module)
+    n = module.output_size
+    if h < n or w < n:
+        raise TraceError(f"adaptive pool output {n} exceeds input {(h, w)}")
+    name = t.emit(
+        t.fresh("apool"), OpType.ADAPTIVE_MAXPOOL, (prev,), (c, n, n),
+        attrs={"output_size": n, "in_size": h, "in_h": h, "in_w": w,
+               "in_channels": c},
+    )
+    return name, (c, n, n)
+
+
+@register_tracer(Flatten)
+def _trace_flatten(t: _Tracer, module: Module, prev: str,
+                   shape: tuple[int, ...]) -> tuple[str, tuple[int, ...]]:
+    feat = 1
+    for d in shape:
+        feat *= d
+    name = t.emit(t.fresh("flatten"), OpType.FLATTEN, (prev,), (feat,))
+    return name, (feat,)
+
+
+@register_tracer(SpatialPyramidPooling)
+def _trace_spp(t: _Tracer, module: SpatialPyramidPooling, prev: str,
+               shape: tuple[int, ...]) -> tuple[str, tuple[int, ...]]:
+    c, h, w = _spatial(shape, module)
+    branches: list[str] = []
+    total = 0
+    for level in module.levels:
+        pooled, pshape = _trace_adaptive(
+            t, AdaptiveMaxPool2d(level), prev, (c, h, w)
+        )
+        flat, fshape = _trace_flatten(t, Flatten(), pooled, pshape)
+        branches.append(flat)
+        total += fshape[0]
+    if len(branches) == 1:
+        return branches[0], (total,)
+    name = t.emit(t.fresh("spp_concat"), OpType.CONCAT, tuple(branches), (total,))
+    return name, (total,)
+
+
+@register_tracer(Linear)
+def _trace_linear(t: _Tracer, module: Linear, prev: str,
+                  shape: tuple[int, ...]) -> tuple[str, tuple[int, ...]]:
+    if len(shape) != 1:
+        raise TraceError(f"Linear expects a flat (F,) input, got {shape}")
+    if shape[0] != module.in_features:
+        raise TraceError(
+            f"Linear expects {module.in_features} features, input has {shape[0]}"
+        )
+    params = {"weight": module.weight.data}
+    if module.bias is not None:
+        params["bias"] = module.bias.data
+    name = t.emit(
+        t.fresh("fc"), OpType.LINEAR, (prev,), (module.out_features,),
+        attrs={"in_features": module.in_features},
+        params=params,
+    )
+    return name, (module.out_features,)
+
+
+def trace(module: Module, input_shape: tuple[int, int, int] | tuple[int, ...],
+          name: str | None = None) -> Traced:
+    """Trace ``module`` into the IR for a per-sample ``input_shape``.
+
+    ``input_shape`` excludes the batch dimension (it is supplied at
+    execution time, like everywhere else in :mod:`repro.graph`).
+    """
+    # SPPNetDetector needs bespoke handling (two output heads); import
+    # lazily to keep repro.engine import-light.
+    from ..detect.sppnet import SPPNetDetector
+
+    input_shape = tuple(int(d) for d in input_shape)
+    label = name or getattr(module, "config", None) and module.config.name \
+        or type(module).__name__
+    t = _Tracer(str(label))
+    t.emit("input", OpType.INPUT, (), input_shape)
+
+    if isinstance(module, SPPNetDetector):
+        prev, shape = t.trace_module(module.trunk, "input", input_shape)
+        prev, shape = t.trace_module(module.spp, prev, shape)
+        prev, shape = t.trace_module(module.fc, prev, shape)
+        cls_name, _ = t.trace_module(module.cls_head, prev, shape)
+        box_name, box_shape = t.trace_module(module.box_head, prev, shape)
+        box_sig = t.emit("box_sigmoid", OpType.SIGMOID, (box_name,), box_shape)
+        outputs: tuple[str, ...] = (cls_name, box_sig)
+    else:
+        prev, _ = t.trace_module(module, "input", input_shape)
+        outputs = (prev,)
+
+    t.graph.validate()
+    return Traced(graph=t.graph, params=t.params, outputs=outputs)

@@ -95,6 +95,10 @@ def op_cost(graph: Graph, op: Operator, batch: int) -> OpCost:
         io_bytes = 2 * b * out * _DTYPE_BYTES
         return OpCost(5.0 * b * out, io_bytes, b * out)
 
+    if op.op_type is OpType.SIGMOID:
+        io_bytes = 2 * b * out * _DTYPE_BYTES
+        return OpCost(4.0 * b * out, io_bytes, b * out)
+
     if op.op_type is OpType.ADD:
         io_bytes = 3 * b * out * _DTYPE_BYTES
         return OpCost(float(b * out), io_bytes, b * out)

@@ -33,6 +33,7 @@ class OpType(str, Enum):
     CONCAT = "concat"
     LINEAR = "linear"
     SOFTMAX = "softmax"
+    SIGMOID = "sigmoid"
     ADD = "add"
     IDENTITY = "identity"
 

@@ -7,7 +7,12 @@ from .constrained import (
     constrained_selection,
     resource_aware_selection,
 )
-from .evaluator import EvaluationResult, FunctionalEvaluator, TrainingEvaluator
+from .evaluator import (
+    EvaluationResult,
+    FunctionalEvaluator,
+    TrainingEvaluator,
+    measure_latency_ms,
+)
 from .experiment import Experiment, TrialRecord, run_trial_with_retries
 from .journal import TrialJournal
 from .parallel import ParallelExperiment
@@ -29,6 +34,7 @@ __all__ = [
     "EvaluationResult",
     "FunctionalEvaluator",
     "TrainingEvaluator",
+    "measure_latency_ms",
     "TrialRecord",
     "Experiment",
     "RetryPolicy",

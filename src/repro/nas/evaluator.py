@@ -7,12 +7,14 @@ the experiment records per trial.
 
 from __future__ import annotations
 
+import time
 from typing import Callable, Mapping
 
 from ..arch import SPPNetConfig
 from .space import config_from_sample
 
-__all__ = ["EvaluationResult", "FunctionalEvaluator", "TrainingEvaluator"]
+__all__ = ["EvaluationResult", "FunctionalEvaluator", "TrainingEvaluator",
+           "measure_latency_ms"]
 
 
 class EvaluationResult(dict):
@@ -47,6 +49,65 @@ class FunctionalEvaluator:
             value = float(metrics.pop("value"))
             return EvaluationResult(value, **metrics)
         return EvaluationResult(float(out))
+
+
+def measure_latency_ms(
+    config: SPPNetConfig,
+    input_size: int = 100,
+    batch: int = 1,
+    repeats: int = 5,
+    warmup: int = 1,
+    backend: str = "eager",
+    seed: int = 0,
+) -> float:
+    """Wall-clock inference latency (ms) for one sampled architecture.
+
+    Complements the analytic cost model in :mod:`repro.nas.constrained`
+    (simulated FLOP/byte roofline) with a measured number: builds an
+    untrained :class:`~repro.arch.SPPNetDetector` from ``config``, runs
+    ``repeats`` timed forward passes over a fixed random batch, and
+    returns the median per-pass time in milliseconds.  Latency is
+    weight-agnostic, so untrained parameters measure the same program a
+    trained checkpoint would.
+
+    ``backend="engine"`` times the compiled inference engine
+    (:mod:`repro.engine`) instead of the eager autograd path, so a
+    latency-constrained search can rank candidates by their deployed
+    cost.  Compilation happens before the warmup passes and is not
+    counted.
+    """
+    import numpy as np
+
+    from ..detect.predict import predict
+    from ..detect.sppnet import SPPNetDetector
+
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    if backend not in ("eager", "engine"):
+        raise ValueError(f"unknown backend {backend!r}; use 'eager' or 'engine'")
+    rng = np.random.default_rng(seed)
+    model = SPPNetDetector(config)
+    model.eval()
+    images = rng.standard_normal(
+        (batch, config.in_channels, input_size, input_size)
+    ).astype(np.float32)
+    run: Callable[[], object]
+    if backend == "engine":
+        from ..engine import compiled_for
+
+        compiled = compiled_for(model)
+        run = lambda: compiled.predict(images, batch_size=batch)  # noqa: E731
+    else:
+        run = lambda: predict(model, images, batch_size=batch)  # noqa: E731
+    for _ in range(warmup):
+        run()
+    times = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        run()
+        times.append((time.perf_counter() - start) * 1e3)
+    times.sort()
+    return times[len(times) // 2]
 
 
 class TrainingEvaluator(FunctionalEvaluator):

@@ -122,6 +122,7 @@ class ServiceMetrics:
         self.latency_ms = Histogram()
         self.batch_latency_ms = Histogram()
         self._batch_sizes: TallyCounter[int] = TallyCounter()
+        self._backend_results: TallyCounter[str] = TallyCounter()
         self._breaker_state = "closed"
         self._breaker_transitions: TallyCounter[str] = TallyCounter()
         self._lock = threading.Lock()
@@ -141,6 +142,20 @@ class ServiceMetrics:
     def breaker_transitions(self) -> dict[str, int]:
         with self._lock:
             return dict(sorted(self._breaker_transitions.items()))
+
+    def record_backend(self, backend: str) -> None:
+        """Tally one completed inference result per execution backend.
+
+        Lets a single BENCH_serve.json A/B run show exactly how many
+        results each backend (eager vs engine vs custom) produced.
+        """
+        with self._lock:
+            self._backend_results[backend] += 1
+
+    @property
+    def completed_by_backend(self) -> dict[str, int]:
+        with self._lock:
+            return dict(sorted(self._backend_results.items()))
 
     def observe_batch(self, size: int, latency_ms: float) -> None:
         with self._lock:
@@ -189,6 +204,7 @@ class ServiceMetrics:
                 str(k): v for k, v in self.batch_size_histogram.items()
             },
             "mean_batch_size": self.mean_batch_size(),
+            "completed_by_backend": self.completed_by_backend,
             "latency_ms": {
                 "p50": self.latency_ms.quantile(0.50),
                 "p95": self.latency_ms.quantile(0.95),

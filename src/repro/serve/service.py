@@ -81,12 +81,17 @@ class DetectionResult:
     box        : normalized (cx, cy, w, h) in chip coordinates
     cached     : True when served from the LRU cache
     batch_size : size of the micro-batch this request rode in (0 if cached)
+    backend    : execution path that produced the value ("eager",
+                 "engine", or "custom" for an injected predict_fn); a
+                 cached result reports the backend of the run that filled
+                 the cache
     """
 
     confidence: float
     box: np.ndarray
     cached: bool = False
     batch_size: int = 0
+    backend: str = "eager"
 
 
 class _Pending:
@@ -124,9 +129,18 @@ class InferenceService:
                   model-worker circuit breaker (None = defaults)
     max_batch_retries : immediate re-runs of a failed micro-batch before
                   its futures fail and the breaker counts the failure
+    backend     : ``"eager"`` (default) runs the autograd model;
+                  ``"engine"`` compiles the model at service start
+                  (:func:`repro.engine.compile`) and serves every batch
+                  through the compiled program.  The engine serializes
+                  execution internally, so pair it with the default
+                  ``num_workers=1``; results record which backend
+                  produced them (:class:`DetectionResult` and the
+                  metrics snapshot's ``completed_by_backend``).
     predict_fn  : model-execution function
                   ``(model, stack, batch_size) -> (confidences, boxes)``;
-                  injectable for fault-injection tests (``repro.faults``)
+                  injectable for fault-injection tests (``repro.faults``).
+                  Overrides ``backend`` (results then report "custom")
 
     Use as a context manager or call :meth:`shutdown` explicitly —
     the batcher and workers are non-daemon threads.
@@ -142,6 +156,7 @@ class InferenceService:
         num_workers: int = 1,
         breaker: BreakerPolicy | None = None,
         max_batch_retries: int = 1,
+        backend: str = "eager",
         predict_fn=None,
     ) -> None:
         if max_queue < 1:
@@ -150,6 +165,10 @@ class InferenceService:
             raise ValueError("num_workers must be >= 1")
         if max_batch_retries < 0:
             raise ValueError("max_batch_retries must be >= 0")
+        if backend not in ("eager", "engine"):
+            raise ValueError(
+                f"unknown backend {backend!r}; use 'eager' or 'engine'"
+            )
         self.model = model
         self.policy = policy if policy is not None else BatchPolicy()
         self.max_queue = max_queue
@@ -159,7 +178,22 @@ class InferenceService:
         self.breaker = CircuitBreaker(
             breaker, on_transition=self.metrics.record_breaker_transition
         )
-        self._predict_fn = predict_fn if predict_fn is not None else predict
+        if predict_fn is not None:
+            self.backend = "custom"
+            self._predict_fn = predict_fn
+        elif backend == "engine":
+            from ..engine import compile as engine_compile
+
+            self.backend = "engine"
+            model.eval()
+            compiled = engine_compile(model)
+            self._predict_fn = (
+                lambda _model, stack, batch_size:
+                compiled.predict(stack, batch_size=batch_size)
+            )
+        else:
+            self.backend = "eager"
+            self._predict_fn = predict
 
         self._queue: deque[_Pending] = deque()
         # O(1) batcher bookkeeping: same-shape counts decide batch
@@ -217,7 +251,8 @@ class InferenceService:
                 self.metrics.latency_ms.observe(0.0)
                 future: Future[DetectionResult] = Future()
                 future.set_result(
-                    DetectionResult(hit.confidence, hit.box, cached=True)
+                    DetectionResult(hit.confidence, hit.box, cached=True,
+                                    backend=hit.backend)
                 )
                 return future
             self.metrics.cache_misses.inc()
@@ -447,9 +482,11 @@ class InferenceService:
             self.metrics.observe_batch(len(batch), (now - started) * 1e3)
             for pending, conf, box in zip(batch, confidences, boxes):
                 result = DetectionResult(
-                    float(conf), box.copy(), cached=False, batch_size=len(batch)
+                    float(conf), box.copy(), cached=False,
+                    batch_size=len(batch), backend=self.backend,
                 )
                 self.cache.put(pending.key, result)
+                self.metrics.record_backend(self.backend)
                 self.metrics.completed.inc()
                 self.metrics.latency_ms.observe((now - pending.enqueued_at) * 1e3)
                 pending.future.set_result(result)
@@ -472,7 +509,8 @@ class InferenceService:
                     (time.monotonic() - pending.enqueued_at) * 1e3
                 )
                 pending.future.set_result(
-                    DetectionResult(hit.confidence, hit.box, cached=True)
+                    DetectionResult(hit.confidence, hit.box, cached=True,
+                                    backend=hit.backend)
                 )
             else:
                 self.metrics.degraded_rejected.inc()

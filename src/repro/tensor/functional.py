@@ -15,7 +15,7 @@ from __future__ import annotations
 import numpy as np
 from numpy.lib.stride_tricks import sliding_window_view
 
-from .tensor import Tensor, as_tensor
+from .tensor import Tensor, as_tensor, is_grad_enabled
 
 __all__ = [
     "conv2d",
@@ -83,13 +83,20 @@ def conv2d(
 
     xp = np.pad(x.data, ((0, 0), (0, 0), (padding, padding), (padding, padding))) \
         if padding else x.data
-    # im2col: (N, Ho, Wo, C*kh*kw)
+    # The whole convolution runs in the promoted common dtype: when both
+    # operands are already float32 no float64 round-trip happens anywhere
+    # (im2col copy, GEMM, bias add), which is the fp32 inference fast path.
+    dtype = np.result_type(x.data, weight.data)
+    # im2col: (N, Ho, Wo, C*kh*kw), copied+cast in a single pass
     cols = _windows(xp, kh, kw, stride).transpose(0, 2, 3, 1, 4, 5)
-    cols_mat = np.ascontiguousarray(cols).reshape(n * ho * wo, c * kh * kw)
+    cols_mat = np.ascontiguousarray(cols, dtype=dtype).reshape(n * ho * wo, c * kh * kw)
     w_mat = weight.data.reshape(f, c * kh * kw)
-    out = cols_mat @ w_mat.T
+    if w_mat.dtype != dtype:
+        w_mat = w_mat.astype(dtype)
+    out = np.empty((n * ho * wo, f), dtype=dtype)
+    np.dot(cols_mat, w_mat.T, out=out)
     if bias is not None:
-        out += bias.data
+        np.add(out, bias.data, out=out)
     out_data = out.reshape(n, ho, wo, f).transpose(0, 3, 1, 2)
 
     def backward(grad: np.ndarray) -> None:
@@ -101,14 +108,20 @@ def conv2d(
             weight._accumulate((g_mat.T @ cols_mat).reshape(weight.shape))
         if x.requires_grad:
             dcols = (g_mat @ w_mat).reshape(n, ho, wo, c, kh, kw)
-            dcols = dcols.transpose(0, 3, 4, 5, 1, 2)  # (N, C, kh, kw, Ho, Wo)
+            # One contiguous layout change up front, then k*k strided adds
+            # straight into the preallocated accumulator — the per-tap
+            # slices below are views, so the loop allocates nothing.
+            dcols = np.ascontiguousarray(
+                dcols.transpose(0, 3, 4, 5, 1, 2)  # (N, C, kh, kw, Ho, Wo)
+            )
             hp, wp = h + 2 * padding, w + 2 * padding
             dxp = np.zeros((n, c, hp, wp), dtype=grad.dtype)
             for i in range(kh):
                 hi = i + stride * ho
                 for j in range(kw):
                     wi = j + stride * wo
-                    dxp[:, :, i:hi:stride, j:wi:stride] += dcols[:, :, i, j]
+                    target = dxp[:, :, i:hi:stride, j:wi:stride]
+                    np.add(target, dcols[:, :, i, j], out=target)
             if padding:
                 dxp = dxp[:, :, padding:padding + h, padding:padding + w]
             x._accumulate(dxp)
@@ -124,6 +137,10 @@ def max_pool2d(x: Tensor, kernel: int, stride: int | None = None) -> Tensor:
     ho = pool_output_size(h, kernel, stride)
     wo = pool_output_size(w, kernel, stride)
     win = _windows(x.data, kernel, kernel, stride)  # (N,C,Ho,Wo,k,k)
+    if not (is_grad_enabled() and x.requires_grad):
+        # Inference: one max reduction over the strided window view — no
+        # im2col copy, no argmax bookkeeping.
+        return Tensor._make(win.max(axis=(-2, -1)), (x,), lambda grad: None)
     flat = win.reshape(n, c, ho, wo, kernel * kernel)
     arg = flat.argmax(axis=-1)
     out_data = np.take_along_axis(flat, arg[..., None], axis=-1)[..., 0]
@@ -131,14 +148,23 @@ def max_pool2d(x: Tensor, kernel: int, stride: int | None = None) -> Tensor:
     def backward(grad: np.ndarray) -> None:
         if not x.requires_grad:
             return
-        dx = np.zeros_like(x.data)
+        # np.zeros (not zeros_like): x.data is often a non-contiguous
+        # transposed conv output, and the flat scatter below needs a
+        # C-contiguous dx so ravel() is a writable view, not a copy.
+        dx = np.zeros(x.data.shape, dtype=x.data.dtype)
         ki, kj = np.divmod(arg, kernel)
-        nn, cc, ii, jj = np.meshgrid(
-            np.arange(n), np.arange(c), np.arange(ho), np.arange(wo), indexing="ij"
-        )
-        rows = ii * stride + ki
-        cols_ = jj * stride + kj
-        np.add.at(dx, (nn, cc, rows, cols_), grad)
+        # Broadcastable index arrays instead of materialized meshgrids.
+        nn = np.arange(n)[:, None, None, None]
+        cc = np.arange(c)[None, :, None, None]
+        rows = np.arange(ho)[None, None, :, None] * stride + ki
+        cols_ = np.arange(wo)[None, None, None, :] * stride + kj
+        if stride >= kernel:
+            # Disjoint windows: every argmax cell is unique, so a direct
+            # flat scatter replaces the slower unbuffered np.add.at.
+            flat_idx = ((nn * c + cc) * h + rows) * w + cols_
+            dx.ravel()[flat_idx.ravel()] = grad.ravel()
+        else:
+            np.add.at(dx, (nn, cc, rows, cols_), grad)
         x._accumulate(dx)
 
     return Tensor._make(out_data, (x,), backward)
@@ -178,6 +204,23 @@ def _adaptive_bounds(in_size: int, out_size: int) -> list[tuple[int, int]]:
     ]
 
 
+def _adaptive_gather_index(in_size: int, out_size: int) -> np.ndarray:
+    """(out_size, max_bin) gather indices for adaptive pooling bins.
+
+    Row ``i`` lists the input coordinates of bin ``i`` (PyTorch floor/ceil
+    convention), right-padded by repeating the bin's last coordinate so
+    every row has the width of the largest bin.  Repeats are harmless
+    under a max reduction and let all bins be gathered in one fancy-index
+    operation instead of a Python loop per bin.
+    """
+    i = np.arange(out_size)
+    starts = (i * in_size) // out_size                      # floor(i*in/out)
+    ends = -((-(i + 1) * in_size) // out_size)              # ceil((i+1)*in/out)
+    max_bin = int((ends - starts).max())
+    idx = starts[:, None] + np.arange(max_bin)[None, :]
+    return np.minimum(idx, ends[:, None] - 1)
+
+
 def adaptive_max_pool2d(x: Tensor, output_size: int) -> Tensor:
     """Adaptive max pooling to an ``output_size`` × ``output_size`` grid.
 
@@ -193,28 +236,30 @@ def adaptive_max_pool2d(x: Tensor, output_size: int) -> Tensor:
         raise ValueError(
             f"adaptive pool output {output_size} exceeds input spatial size {(h, w)}"
         )
-    rows = _adaptive_bounds(h, output_size)
-    cols = _adaptive_bounds(w, output_size)
-    out_data = np.empty((n, c, output_size, output_size), dtype=x.data.dtype)
-    argrows = np.empty((n, c, output_size, output_size), dtype=np.intp)
-    argcols = np.empty((n, c, output_size, output_size), dtype=np.intp)
-    for i, (r0, r1) in enumerate(rows):
-        for j, (c0, c1) in enumerate(cols):
-            region = x.data[:, :, r0:r1, c0:c1]
-            flat = region.reshape(n, c, -1)
-            arg = flat.argmax(axis=-1)
-            out_data[:, :, i, j] = np.take_along_axis(flat, arg[..., None], axis=-1)[..., 0]
-            ri, ci = np.divmod(arg, c1 - c0)
-            argrows[:, :, i, j] = ri + r0
-            argcols[:, :, i, j] = ci + c0
+    ridx = _adaptive_gather_index(h, output_size)  # (out, bh)
+    cidx = _adaptive_gather_index(w, output_size)  # (out, bw)
+    bh, bw = ridx.shape[1], cidx.shape[1]
+    # One fancy-indexed gather materializes every bin at once:
+    # (N, C, out, bh, out, bw), padded cells repeating in-bin values.
+    gathered = x.data[:, :, ridx[:, :, None, None], cidx[None, None, :, :]]
+    if not (is_grad_enabled() and x.requires_grad):
+        return Tensor._make(gathered.max(axis=(3, 5)), (x,), lambda grad: None)
+    flat = gathered.transpose(0, 1, 2, 4, 3, 5).reshape(
+        n, c, output_size, output_size, bh * bw
+    )
+    arg = flat.argmax(axis=-1)
+    out_data = np.take_along_axis(flat, arg[..., None], axis=-1)[..., 0]
+    bi, bj = np.divmod(arg, bw)
+    grid = np.arange(output_size)
+    argrows = ridx[grid[None, None, :, None], bi]
+    argcols = cidx[grid[None, None, None, :], bj]
 
     def backward(grad: np.ndarray) -> None:
         if not x.requires_grad:
             return
         dx = np.zeros_like(x.data)
-        nn, cc = np.meshgrid(np.arange(n), np.arange(c), indexing="ij")
-        nn = nn[:, :, None, None]
-        cc = cc[:, :, None, None]
+        nn = np.arange(n)[:, None, None, None]
+        cc = np.arange(c)[None, :, None, None]
         np.add.at(dx, (nn, cc, argrows, argcols), grad)
         x._accumulate(dx)
 

@@ -1,0 +1,135 @@
+"""Liveness-based memory planner: slot reuse, aliasing safety, pinning."""
+
+import numpy as np
+import pytest
+
+from repro.arch import ConvSpec, PoolSpec, SPPNetConfig
+from repro.detect.sppnet import SPPNetDetector
+from repro.engine import CompiledModel, Step, plan_memory
+
+
+def step(name, inputs, elems, kind="relu", scratch=0):
+    return Step(kind, name, tuple(inputs), (elems,), {}, (name,), scratch)
+
+
+def chain(*elems):
+    steps = [step("input", (), elems[0], kind="input")]
+    prev = "input"
+    for i, e in enumerate(elems[1:]):
+        steps.append(step(f"t{i}", (prev,), e))
+        prev = f"t{i}"
+    return steps, prev
+
+
+def assert_no_aliasing(plan):
+    """No two lifetimes assigned to one slot may overlap in time."""
+    by_slot = {}
+    for lt in plan.lifetimes.values():
+        by_slot.setdefault(lt.slot, []).append(lt)
+    for slot, lts in by_slot.items():
+        lts.sort(key=lambda lt: lt.birth)
+        for a, b in zip(lts, lts[1:]):
+            assert a.death < b.birth, (
+                f"slot {slot}: {a.name} [{a.birth},{a.death}] overlaps "
+                f"{b.name} [{b.birth},{b.death}]"
+            )
+
+
+class TestChain:
+    def test_slots_are_recycled(self):
+        steps, out = chain(100, 100, 100, 100, 100)
+        plan = plan_memory(steps, (out,), batch=1)
+        assert_no_aliasing(plan)
+        # A pure chain only ever has two tensors live (producer input,
+        # consumer output), so the arena needs two slots, not five.
+        assert len(plan.slot_sizes) == 2
+        assert plan.peak_bytes < plan.naive_bytes
+        assert plan.reuse_factor > 1.0
+
+    def test_peak_holds_largest_simultaneous_pair(self):
+        steps, out = chain(10, 1000, 10)
+        plan = plan_memory(steps, (out,), batch=1, itemsize=4)
+        assert plan.peak_bytes >= (1000 + 10) * 4
+
+    def test_batch_scales_bytes(self):
+        steps, out = chain(100, 100)
+        p1 = plan_memory(steps, (out,), batch=1)
+        p8 = plan_memory(steps, (out,), batch=8)
+        assert p8.peak_bytes == 8 * p1.peak_bytes
+
+    def test_bad_batch_rejected(self):
+        steps, out = chain(10, 10)
+        with pytest.raises(ValueError):
+            plan_memory(steps, (out,), batch=0)
+
+
+class TestPinningAndScratch:
+    def test_early_output_is_pinned_until_program_end(self):
+        # input -> a -> b (output), a -> c -> d (output): b is produced
+        # mid-program but must survive to the end.
+        steps = [
+            step("input", (), 50, kind="input"),
+            step("a", ("input",), 50),
+            step("b", ("a",), 50),
+            step("c", ("a",), 50),
+            step("d", ("c",), 50),
+        ]
+        plan = plan_memory(steps, ("b", "d"), batch=1)
+        assert_no_aliasing(plan)
+        last = len(steps) - 1
+        assert plan.lifetimes["b"].death == last
+        assert plan.lifetimes["d"].death == last
+        b_slot = plan.lifetimes["b"].slot
+        later = [lt for lt in plan.lifetimes.values()
+                 if lt.slot == b_slot and lt.name != "b"]
+        assert all(lt.death < plan.lifetimes["b"].birth for lt in later)
+
+    def test_scratch_never_aliases_live_tensors(self):
+        steps = [
+            step("input", (), 64, kind="input"),
+            step("conv", ("input",), 64, kind="conv", scratch=256),
+            step("out", ("conv",), 16),
+        ]
+        plan = plan_memory(steps, ("out",), batch=1)
+        assert_no_aliasing(plan)
+        scratch = plan.lifetimes["conv:scratch"]
+        assert scratch.birth == scratch.death == 1
+        # Scratch is live at the same instant as the step's input and
+        # output, so it must sit in its own slot.
+        assert scratch.slot != plan.lifetimes["conv"].slot
+        assert scratch.slot != plan.lifetimes["input"].slot
+        # The eager path allocates scratch too, so it counts in naive.
+        assert plan.naive_bytes == (64 + 64 + 256 + 16) * 4
+
+    def test_unconsumed_intermediate_is_freed(self):
+        steps = [
+            step("input", (), 10, kind="input"),
+            step("dead", ("input",), 1000),
+            step("live", ("input",), 10),
+        ]
+        plan = plan_memory(steps, ("live",), batch=1)
+        assert_no_aliasing(plan)
+        assert plan.lifetimes["dead"].death == 1
+
+
+class TestRealModelPlan:
+    def config(self):
+        return SPPNetConfig(
+            convs=(ConvSpec(8, 3, 1), ConvSpec(16, 3, 1)),
+            pools=(PoolSpec(2, 2), PoolSpec(2, 2)),
+            spp_levels=(2, 1), fc_sizes=(32,), in_channels=4,
+        )
+
+    def test_compiled_plan_has_no_aliasing_and_reuses(self):
+        model = SPPNetDetector(self.config(), seed=0)
+        compiled = CompiledModel(model, (4, 32, 32))
+        plan = compiled.memory_plan(batch=2)
+        assert_no_aliasing(plan)
+        assert plan.reuse_factor > 1.0
+        assert compiled.planned_peak_bytes(batch=2) == plan.peak_bytes
+
+    def test_plan_matches_execution_dtype(self):
+        model = SPPNetDetector(self.config(), seed=0)
+        f32 = CompiledModel(model, (4, 32, 32), dtype=np.float32)
+        f64 = CompiledModel(model, (4, 32, 32), dtype=np.float64)
+        assert f64.planned_peak_bytes() == 2 * f32.planned_peak_bytes()

@@ -1,0 +1,139 @@
+"""Tracing modules into the IR and fusing the IR into kernel steps."""
+
+import numpy as np
+import pytest
+
+from repro.arch import ConvSpec, PoolSpec, SPPNetConfig
+from repro.detect.sppnet import SPPNetDetector
+from repro.engine import CompiledModel, TraceError, fuse_graph, trace
+from repro.graph import OpType
+from repro.tensor import Tensor, no_grad
+from repro.tensor.modules import (
+    BatchNorm2d,
+    Conv2d,
+    Dropout,
+    Linear,
+    MaxPool2d,
+    ReLU,
+    Sequential,
+)
+
+
+def small_config():
+    return SPPNetConfig(
+        convs=(ConvSpec(8, 3, 1), ConvSpec(16, 3, 1)),
+        pools=(PoolSpec(2, 2), PoolSpec(2, 2)),
+        spp_levels=(2, 1), fc_sizes=(32,), in_channels=4,
+    )
+
+
+class TestTrace:
+    def test_detector_outputs_and_params(self):
+        model = SPPNetDetector(small_config(), seed=0)
+        traced = trace(model, (4, 32, 32))
+        assert len(traced.outputs) == 2
+        assert traced.outputs[1] == "box_sigmoid"
+        assert traced.graph["box_sigmoid"].op_type is OpType.SIGMOID
+        # conv1/conv2 from the trunk, fc1 + two heads.
+        for name in ("conv1", "conv2", "fc1", "fc2", "fc3"):
+            assert name in traced.params
+            assert "weight" in traced.params[name]
+
+    def test_names_stable_across_input_sizes(self):
+        model = SPPNetDetector(small_config(), seed=0)
+        a = trace(model, (4, 32, 32))
+        b = trace(model, (4, 48, 40))
+        assert a.graph.names() == b.graph.names()
+        assert a.outputs == b.outputs
+
+    def test_dropout_traces_to_identity(self):
+        mlp = Sequential(Linear(8, 8), ReLU(), Dropout(0.5), Linear(8, 2))
+        traced = trace(mlp, (8,))
+        assert all(op.op_type is not OpType.IDENTITY
+                   for op in traced.graph.nodes())
+        assert len(traced.graph) == 4  # input + fc1 + relu1 + fc2
+
+    def test_batchnorm_folds_into_conv_params(self):
+        conv = Conv2d(3, 4, 3, bias=False)
+        bn = BatchNorm2d(4)
+        bn.running_mean.data[:] = np.arange(4, dtype=float)
+        bn.running_var.data[:] = 1.0 + np.arange(4, dtype=float)
+        net = Sequential(conv, bn, ReLU())
+        traced = trace(net, (3, 8, 8))
+        assert "conv1" in traced.params
+        folded = traced.params["conv1"]
+        assert not np.allclose(folded["weight"], conv.weight.data)
+        # The fold synthesizes a bias for the biasless conv and the
+        # op's attrs must reflect it so the packer includes the row.
+        assert "bias" in folded
+        assert traced.graph["conv1"].attrs["bias"] is True
+
+    def test_batchnorm_without_conv_rejected(self):
+        net = Sequential(MaxPool2d(2, 2), BatchNorm2d(3))
+        with pytest.raises(TraceError):
+            trace(net, (3, 8, 8))
+
+    def test_too_small_input_rejected(self):
+        model = SPPNetDetector(small_config(), seed=0)
+        with pytest.raises(TraceError):
+            trace(model, (4, 2, 2))
+
+
+class TestFusion:
+    def test_detector_fuses_away_elementwise_glue(self):
+        model = SPPNetDetector(small_config(), seed=0)
+        traced = trace(model, (4, 32, 32))
+        steps = fuse_graph(traced.graph, traced.outputs)
+        kinds = {s.kind for s in steps}
+        # Every ReLU rides a conv/linear/pool kernel and every flatten
+        # rides a pool; neither survives as a standalone step.
+        assert "relu" not in kinds
+        assert "flatten" not in kinds
+        assert {"conv", "linear", "sigmoid"} <= kinds
+
+    def test_conv_relu_defers_to_following_pool(self):
+        model = SPPNetDetector(small_config(), seed=0)
+        traced = trace(model, (4, 32, 32))
+        steps = {s.name: s for s in fuse_graph(traced.graph, traced.outputs)}
+        convs = [s for s in steps.values() if s.kind == "conv"]
+        pools = [s for s in steps.values()
+                 if s.kind in ("maxpool", "maxpool_flatten")]
+        assert convs and pools
+        # ReLU commutes with max pooling, so it runs on the pooled
+        # (k^2-smaller) tensor, not on the conv output.
+        assert all(not s.attrs["relu"] for s in convs)
+        assert all(s.attrs["relu"] for s in pools)
+
+    def test_linear_relu_fused(self):
+        mlp = Sequential(Linear(8, 8), ReLU(), Linear(8, 2))
+        traced = trace(mlp, (8,))
+        steps = fuse_graph(traced.graph, traced.outputs)
+        linears = [s for s in steps if s.kind == "linear"]
+        assert [s.attrs["relu"] for s in linears] == [True, False]
+
+    def test_conv_steps_reserve_im2col_scratch(self):
+        model = SPPNetDetector(small_config(), seed=0)
+        traced = trace(model, (4, 32, 32))
+        steps = fuse_graph(traced.graph, traced.outputs)
+        assert all(s.scratch_elems > 0 for s in steps if s.kind == "conv")
+
+
+class TestGenericModules:
+    def test_padded_conv_equivalence(self):
+        net = Sequential(Conv2d(3, 8, 3, padding=1), ReLU(), MaxPool2d(2, 2))
+        net.eval()
+        x = np.random.default_rng(0).standard_normal((2, 3, 10, 10)).astype(
+            np.float32)
+        with no_grad():
+            eager = net(Tensor(x)).data
+        compiled = CompiledModel(net, (3, 10, 10))
+        np.testing.assert_allclose(compiled(x), eager, atol=1e-5, rtol=1e-4)
+
+    def test_mlp_equivalence(self):
+        mlp = Sequential(Linear(6, 16), ReLU(), Dropout(0.3), Linear(16, 3))
+        mlp.eval()
+        x = np.random.default_rng(1).standard_normal((4, 6)).astype(np.float32)
+        with no_grad():
+            eager = mlp(Tensor(x)).data
+        compiled = CompiledModel(mlp, (6,))
+        np.testing.assert_allclose(compiled(x), eager, atol=1e-5, rtol=1e-4)

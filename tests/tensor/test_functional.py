@@ -81,6 +81,17 @@ class TestPooling:
         expected[1, 1] = expected[1, 3] = expected[3, 1] = expected[3, 3] = 1
         assert np.allclose(x.grad[0, 0], expected)
 
+    def test_max_pool_gradient_on_noncontiguous_input(self):
+        # Pool inputs in real models are transposed conv outputs; the
+        # disjoint-window scatter must not lose writes when the gradient
+        # buffer inherits a non-C layout.
+        base = np.random.default_rng(0).standard_normal((2, 6, 6, 3))
+        x = Tensor(base.transpose(0, 3, 1, 2), requires_grad=True)
+        assert not x.data.flags["C_CONTIGUOUS"]
+        out = F.max_pool2d(x, 2, 2)
+        out.backward(np.ones_like(out.data))
+        assert np.count_nonzero(x.grad) == out.data.size
+
     def test_avg_pool_values(self):
         x = Tensor(np.ones((1, 1, 4, 4)))
         assert np.allclose(F.avg_pool2d(x, 2).data, np.ones((1, 1, 2, 2)))
