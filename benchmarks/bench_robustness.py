@@ -1,0 +1,260 @@
+"""Robustness gate: corrupted scenes scan, resumes replay, engine falls back.
+
+Three scenarios, all with deterministic injected damage (``repro.faults``):
+
+1. **Corrupted-scene scan** — a scene with ~20% of its tiles corrupted
+   (NaN pepper, nodata holes, dropped bands, saturation, truncation)
+   must scan to completion with zero uncaught exceptions, report tile
+   coverage >= 0.95, and land its F1 within a fixed margin of the
+   clean-scene scan.  This is the CI gate.
+2. **Interrupted scan resume** — a journalled scan truncated after k
+   tiles and resumed must reproduce the uninterrupted run byte for byte:
+   identical detections, identical journal file.
+3. **Engine fault fallback** — an :class:`~repro.robust.GuardedEngine`
+   whose compiled program emits garbage must transparently re-execute on
+   eager with matching outputs, visible in the service metrics snapshot's
+   ``fallback_by_reason``.
+
+Emits ``BENCH_robustness.json`` so degraded-input telemetry is recorded
+run over run.
+
+Usage::
+
+    python benchmarks/bench_robustness.py [--scene-size N] [--fraction F]
+                                          [--out PATH]
+
+Also collectable by pytest (``pytest benchmarks/bench_robustness.py``).
+"""
+
+import argparse
+import json
+import tempfile
+import time
+from dataclasses import replace
+from pathlib import Path
+
+import numpy as np
+
+from repro.arch import ConvSpec, PoolSpec, SPPNetConfig
+from repro.detect import (
+    SPPNetDetector,
+    evaluate_scene_detections,
+    predict,
+    scan_origins,
+    scan_scene,
+)
+from repro.faults import corrupt_scene
+from repro.geo import WatershedConfig, build_scene
+from repro.robust import GuardedEngine, SanitizePolicy, ScanJournal
+from repro.serve import BatchPolicy, InferenceService
+
+ARCH = SPPNetConfig(
+    convs=(ConvSpec(8, 3, 1),), pools=(PoolSpec(2, 2),),
+    spp_levels=(2, 1), fc_sizes=(32,), name="robustness-bench",
+)
+WINDOW = STRIDE = 64
+THRESHOLD = 0.6
+F1_MARGIN = 0.2
+COVERAGE_FLOOR = 0.95
+
+
+def make_scenes(scene_size: int, fraction: float, seed: int = 5):
+    scene = build_scene(WatershedConfig(
+        size=scene_size, road_spacing=64, stream_threshold=600, seed=seed))
+    origins = scan_origins(scene.size, WINDOW, STRIDE)
+    image, applied = corrupt_scene(scene.image, origins, WINDOW,
+                                   fraction=fraction, seed=seed)
+    return scene, replace(scene, image=image), applied
+
+
+def run_scan_scenario(scene_size: int = 320, fraction: float = 0.2) -> dict:
+    model = SPPNetDetector(ARCH, seed=0)
+    scene, bad_scene, applied = make_scenes(scene_size, fraction)
+
+    clean = scan_scene(model, scene, window=WINDOW, stride=STRIDE,
+                       confidence_threshold=THRESHOLD,
+                       sanitize=SanitizePolicy.for_scene())
+    start = time.perf_counter()
+    corrupt = scan_scene(model, bad_scene, window=WINDOW, stride=STRIDE,
+                         confidence_threshold=THRESHOLD,
+                         sanitize=SanitizePolicy.for_scene())
+    elapsed = time.perf_counter() - start
+
+    clean_f1 = evaluate_scene_detections(clean, scene.crossings).f1
+    corrupt_f1 = evaluate_scene_detections(corrupt, scene.crossings).f1
+    cov = corrupt.coverage
+    return {
+        "scene_size": scene_size,
+        "corrupted_fraction_requested": fraction,
+        "tiles_corrupted": len(applied),
+        "injectors_applied": sorted(set(applied.values())),
+        "coverage": cov.to_json(),
+        "tile_coverage": cov.coverage,
+        "clean_f1": clean_f1,
+        "corrupt_f1": corrupt_f1,
+        "f1_delta": abs(clean_f1 - corrupt_f1),
+        "scan_wall_clock_s": elapsed,
+    }
+
+
+def run_resume_scenario(scene_size: int = 192, fraction: float = 0.25,
+                        cut: int = 4) -> dict:
+    model = SPPNetDetector(ARCH, seed=0)
+    _, bad_scene, _ = make_scenes(scene_size, fraction)
+
+    def scan(path, resume=False):
+        return scan_scene(model, bad_scene, window=WINDOW, stride=STRIDE,
+                          confidence_threshold=THRESHOLD,
+                          sanitize=SanitizePolicy.for_scene(),
+                          journal=path, resume=resume)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        full_path = Path(tmp) / "full.jsonl"
+        full = scan(full_path)
+        lines = full_path.read_text().splitlines()
+
+        part_path = Path(tmp) / "part.jsonl"  # crash after `cut` tiles
+        part_path.write_text("\n".join(lines[:cut + 1]) + "\n")
+        resumed = scan(part_path, resume=True)
+
+        journal_identical = (part_path.read_bytes() == full_path.read_bytes())
+        _, records = ScanJournal(full_path).load()
+
+    detections_identical = (
+        json.dumps([d.__dict__ for d in resumed])
+        == json.dumps([d.__dict__ for d in full])
+    )
+    return {
+        "tiles_total": full.coverage.tiles_total,
+        "interrupted_after_tiles": cut,
+        "tiles_resumed": resumed.coverage.tiles_resumed,
+        "journal_records": len(records),
+        "detections_identical": detections_identical,
+        "journal_byte_identical": journal_identical,
+    }
+
+
+class _FaultyCompiled:
+    """Compiled program that emits NaN for its first ``fail_first`` calls."""
+
+    def __init__(self, model, fail_first: int) -> None:
+        self.model = model
+        self.fail_first = fail_first
+        self.calls = 0
+
+    def predict(self, stack, batch_size=20):
+        self.calls += 1
+        n = len(stack)
+        if self.calls <= self.fail_first:
+            return np.full(n, np.nan), np.full((n, 4), np.nan)
+        return predict(self.model, stack, batch_size=batch_size)
+
+
+def run_fallback_scenario(n_chips: int = 6, fail_first: int = 2) -> dict:
+    model = SPPNetDetector(ARCH, seed=0)
+    model.eval()
+    rng = np.random.default_rng(0)
+    chips = rng.random((n_chips, 4, 24, 24)).astype(np.float32)
+    eager_conf, _ = predict(model, chips, batch_size=1)
+
+    guard = GuardedEngine(model, compiled=_FaultyCompiled(model, fail_first))
+    with InferenceService(model, BatchPolicy(max_batch=1, max_wait_ms=1.0),
+                          cache_size=0, engine=guard) as service:
+        results = [service.submit(c).result(timeout=30) for c in chips]
+        snapshot = service.metrics.snapshot()
+
+    matches = bool(np.allclose(
+        [r.confidence for r in results], eager_conf, atol=1e-4))
+    return {
+        "chips": n_chips,
+        "engine_faults_injected": fail_first,
+        "fallback_by_reason": snapshot["fallback_by_reason"],
+        "completed_by_backend": snapshot["completed_by_backend"],
+        "fallback_outputs_match_eager": matches,
+        "all_outputs_finite": bool(np.isfinite(
+            [r.confidence for r in results]).all()),
+    }
+
+
+def run_benchmark(scene_size: int = 320, fraction: float = 0.2) -> dict:
+    return {
+        "benchmark": "robustness",
+        "scan": run_scan_scenario(scene_size=scene_size, fraction=fraction),
+        "resume": run_resume_scenario(),
+        "fallback": run_fallback_scenario(),
+    }
+
+
+def test_corrupted_scene_scan_gate():
+    """Acceptance: ~20% corrupted tiles — the scan completes with zero
+    uncaught exceptions, coverage >= 0.95, F1 within the fixed margin."""
+    payload = run_scan_scenario(scene_size=320, fraction=0.2)
+    assert payload["tiles_corrupted"] > 0
+    assert payload["tile_coverage"] >= COVERAGE_FLOOR
+    assert payload["f1_delta"] <= F1_MARGIN
+
+
+def test_interrupted_scan_resumes_byte_identically():
+    """Acceptance: truncate the journal mid-scan, resume, and get the
+    uninterrupted run back exactly — detections and journal bytes."""
+    payload = run_resume_scenario()
+    assert payload["tiles_resumed"] == payload["interrupted_after_tiles"]
+    assert payload["detections_identical"]
+    assert payload["journal_byte_identical"]
+
+
+def test_engine_faults_fall_back_to_eager():
+    """Acceptance: injected engine garbage re-executes on eager with
+    matching outputs, tallied in ``ServiceMetrics.fallback_by_reason``."""
+    payload = run_fallback_scenario()
+    assert payload["fallback_by_reason"].get("non_finite") == 2
+    assert payload["completed_by_backend"].get("eager") == 2
+    assert payload["completed_by_backend"].get("engine") == 4
+    assert payload["fallback_outputs_match_eager"]
+    assert payload["all_outputs_finite"]
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scene-size", type=int, default=320,
+                        help="synthetic scene edge length in pixels")
+    parser.add_argument("--fraction", type=float, default=0.2,
+                        help="fraction of tiles to corrupt")
+    parser.add_argument("--out", type=Path,
+                        default=Path("BENCH_robustness.json"))
+    args = parser.parse_args()
+
+    payload = run_benchmark(scene_size=args.scene_size,
+                            fraction=args.fraction)
+    args.out.write_text(json.dumps(payload, indent=2) + "\n")
+
+    scan = payload["scan"]
+    resume = payload["resume"]
+    fallback = payload["fallback"]
+    cov = scan["coverage"]
+    print(f"scan     : {scan['tiles_corrupted']} corrupted tiles "
+          f"({', '.join(scan['injectors_applied'])}); "
+          f"coverage {scan['tile_coverage']:.3f} "
+          f"({cov['tiles_repaired']} repaired, "
+          f"{cov['tiles_quarantined']} quarantined); "
+          f"F1 {scan['corrupt_f1']:.3f} vs clean {scan['clean_f1']:.3f}")
+    print(f"resume   : interrupted after {resume['interrupted_after_tiles']}"
+          f"/{resume['tiles_total']} tiles; "
+          f"detections identical={resume['detections_identical']}, "
+          f"journal bytes identical={resume['journal_byte_identical']}")
+    print(f"fallback : {fallback['fallback_by_reason']} -> "
+          f"served {fallback['completed_by_backend']}, "
+          f"outputs match eager={fallback['fallback_outputs_match_eager']}")
+    print(f"-> {args.out}")
+
+    ok = (scan["tile_coverage"] >= COVERAGE_FLOOR
+          and scan["f1_delta"] <= F1_MARGIN
+          and resume["detections_identical"]
+          and resume["journal_byte_identical"]
+          and fallback["fallback_outputs_match_eager"])
+    if not ok:
+        raise SystemExit("FAIL: robustness gate not met")
+
+
+if __name__ == "__main__":
+    main()

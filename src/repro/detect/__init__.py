@@ -10,6 +10,8 @@ from .metrics import (
 from .predict import evaluate_detector, predict
 from .rcnn import FasterRCNNLite, RCNNConfig, evaluate_rcnn, train_rcnn
 from .scan import (
+    ScanCoverage,
+    ScanDetections,
     SceneDetection,
     SceneDetectionScores,
     evaluate_scene_detections,
@@ -42,6 +44,8 @@ __all__ = [
     "train_detector",
     "SceneDetection",
     "SceneDetectionScores",
+    "ScanCoverage",
+    "ScanDetections",
     "non_max_suppression",
     "scan_origins",
     "scan_scene",

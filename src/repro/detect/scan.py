@@ -9,10 +9,19 @@ non-maximum suppression.  :func:`evaluate_scene_detections` scores the
 result against ground-truth crossing locations by center distance — the
 operational metric a hydrologist cares about (is the breach applied at
 the right cell?).
+
+Production scenes are not pristine: tiles arrive with NaN pixels, nodata
+holes, dropped bands, and saturation (see :mod:`repro.robust`).  Passing
+``sanitize=`` and/or ``journal=`` switches :func:`scan_scene` into its
+*robust* mode — every tile is validated/repaired/quarantined behind a
+per-tile fault boundary, outcomes stream to an append-only JSONL scan
+journal, and ``resume=True`` replays a crashed scan's journaled tiles
+verbatim so the finished result is identical to an uninterrupted run.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
@@ -24,10 +33,13 @@ from .predict import predict
 from .sppnet import SPPNetDetector
 
 if TYPE_CHECKING:
+    from ..robust.journal import ScanJournal
+    from ..robust.sanitize import SanitizePolicy
     from ..serve import InferenceService
 
-__all__ = ["SceneDetection", "SceneDetectionScores", "scan_origins",
-           "non_max_suppression", "scan_scene", "evaluate_scene_detections"]
+__all__ = ["SceneDetection", "SceneDetectionScores", "ScanCoverage",
+           "ScanDetections", "scan_origins", "non_max_suppression",
+           "scan_scene", "evaluate_scene_detections"]
 
 
 @dataclass(frozen=True)
@@ -44,16 +56,28 @@ class SceneDetection:
     def center(self) -> tuple[int, int]:
         return (int(round(self.row)), int(round(self.col)))
 
+    def is_finite(self) -> bool:
+        return all(math.isfinite(v) for v in
+                   (self.row, self.col, self.height, self.width,
+                    self.confidence))
+
 
 def non_max_suppression(detections: list[SceneDetection],
                         radius: float = 20.0) -> list[SceneDetection]:
     """Greedy NMS by center distance: keep the most confident detection,
     drop any lower-confidence detection within ``radius`` cells of a kept
-    one."""
+    one.
+
+    Detections with a non-finite confidence or geometry are dropped
+    before sorting: a NaN confidence sorts unpredictably (every
+    comparison is False), and a NaN that survives to a score artifact
+    crashes its ``allow_nan=False`` serialization long after the scan.
+    """
     if radius <= 0:
         raise ValueError("radius must be positive")
     kept: list[SceneDetection] = []
-    for det in sorted(detections, key=lambda d: -d.confidence):
+    finite = [d for d in detections if d.is_finite()]
+    for det in sorted(finite, key=lambda d: -d.confidence):
         if all((det.row - k.row) ** 2 + (det.col - k.col) ** 2 > radius**2
                for k in kept):
             kept.append(det)
@@ -75,6 +99,48 @@ def scan_origins(size: int, window: int, stride: int) -> list[tuple[int, int]]:
     return [(r, c) for r in starts for c in starts]
 
 
+@dataclass(frozen=True)
+class ScanCoverage:
+    """How much of a scene a (robust) scan actually saw.
+
+    tiles_scanned counts tiles that produced a model answer (clean or
+    repaired); quarantined tiles were skipped by design, never silently.
+    """
+
+    tiles_total: int
+    tiles_scanned: int
+    tiles_repaired: int = 0
+    tiles_quarantined: int = 0
+    tiles_resumed: int = 0
+    engine_fallbacks: int = 0
+
+    @property
+    def coverage(self) -> float:
+        return self.tiles_scanned / self.tiles_total if self.tiles_total else 0.0
+
+    def to_json(self) -> dict:
+        return {
+            "tiles_total": self.tiles_total,
+            "tiles_scanned": self.tiles_scanned,
+            "tiles_repaired": self.tiles_repaired,
+            "tiles_quarantined": self.tiles_quarantined,
+            "tiles_resumed": self.tiles_resumed,
+            "engine_fallbacks": self.engine_fallbacks,
+            "coverage": self.coverage,
+        }
+
+
+class ScanDetections(list):
+    """``scan_scene``'s return type: a plain list of
+    :class:`SceneDetection` that also carries the scan's
+    :class:`ScanCoverage` (every existing list-consuming caller keeps
+    working; robustness-aware callers read ``.coverage``)."""
+
+    def __init__(self, detections, coverage: ScanCoverage) -> None:
+        super().__init__(detections)
+        self.coverage = coverage
+
+
 def scan_scene(
     model: SPPNetDetector,
     scene: Scene,
@@ -85,7 +151,10 @@ def scan_scene(
     batch_size: int = 20,
     service: "InferenceService | None" = None,
     backend: str = "eager",
-) -> list[SceneDetection]:
+    sanitize: "SanitizePolicy | None" = None,
+    journal: "ScanJournal | str | None" = None,
+    resume: bool = False,
+) -> ScanDetections:
     """Detect crossings across a whole scene.
 
     Overlapping windows (default 50% overlap) guarantee every crossing is
@@ -99,9 +168,43 @@ def scan_scene(
     cache, and concurrent scans share the same worker pool.  The
     service's own backend applies there; ``backend`` selects the local
     path's execution (``"engine"`` = compiled inference engine).
+
+    Passing ``sanitize`` (a :class:`~repro.robust.SanitizePolicy`) or
+    ``journal`` (a path or :class:`~repro.robust.ScanJournal`) enables
+    the robust path: tiles are sanitized per policy, every tile runs
+    behind its own fault boundary (a poisoned tile is quarantined and
+    recorded, never fatal), outcomes stream to the journal, and
+    ``resume=True`` continues a crashed scan from it — journaled tiles
+    are replayed verbatim, so the resumed result is identical to an
+    uninterrupted run.  The robust path executes the model one tile at a
+    time: that per-tile isolation is what makes quarantine exact and
+    resumed numerics batch-composition-independent.  With
+    ``backend="engine"`` it also runs through the guarded engine→eager
+    fallback (:class:`~repro.robust.GuardedEngine`).
+
+    The returned list is a :class:`ScanDetections` carrying a
+    :class:`ScanCoverage` (on the non-robust path it simply reports full
+    coverage).
     """
     n = scene.size
     origins = scan_origins(n, window, stride)
+
+    if sanitize is not None or journal is not None:
+        if service is not None:
+            raise ValueError(
+                "robust scanning (sanitize/journal) applies to the local "
+                "path; sanitize service requests via the service's own "
+                "validation instead"
+            )
+        return _scan_scene_robust(
+            model, scene, origins, window=window, stride=stride,
+            confidence_threshold=confidence_threshold,
+            nms_radius=nms_radius, backend=backend,
+            policy=sanitize, journal=journal, resume=resume,
+        )
+    if resume:
+        raise ValueError("resume=True requires a journal")
+
     tiles = np.stack([
         scene.image[:, r:r + window, c:c + window] for r, c in origins
     ]).astype(np.float32)
@@ -115,7 +218,7 @@ def scan_scene(
                                      backend=backend)
     detections: list[SceneDetection] = []
     for (r0, c0), conf, box in zip(origins, confidences, boxes):
-        if conf < confidence_threshold:
+        if not conf >= confidence_threshold:  # also skips NaN confidence
             continue
         cx, cy, w, h = box
         detections.append(SceneDetection(
@@ -125,17 +228,148 @@ def scan_scene(
             width=w * window,
             confidence=float(conf),
         ))
-    return non_max_suppression(detections, radius=nms_radius)
+    coverage = ScanCoverage(tiles_total=len(origins),
+                            tiles_scanned=len(origins))
+    return ScanDetections(non_max_suppression(detections, radius=nms_radius),
+                          coverage)
+
+
+def _scan_scene_robust(
+    model: SPPNetDetector,
+    scene: Scene,
+    origins: list[tuple[int, int]],
+    *,
+    window: int,
+    stride: int,
+    confidence_threshold: float,
+    nms_radius: float,
+    backend: str,
+    policy: "SanitizePolicy | None",
+    journal: "ScanJournal | str | None",
+    resume: bool,
+) -> ScanDetections:
+    """Per-tile sanitize → predict → journal loop behind scan_scene."""
+    from ..robust.journal import ScanJournal, TileRecord
+    from ..robust.sanitize import SanitizePolicy, sanitize_chip
+
+    image = scene.image
+    if policy is None:
+        policy = SanitizePolicy.for_scene(bands=image.shape[0])
+
+    jr: ScanJournal | None = None
+    if journal is not None:
+        jr = journal if isinstance(journal, ScanJournal) else ScanJournal(journal)
+    meta = {
+        "scene_size": int(scene.size),
+        "bands": int(image.shape[0]),
+        "window": int(window),
+        "stride": int(stride),
+        "confidence_threshold": float(confidence_threshold),
+        "backend": backend,
+    }
+    done: dict[int, TileRecord] = {}
+    if jr is not None:
+        if resume and jr.exists():
+            jr.check_meta(meta)
+            _, replayed = jr.load()
+            done = {rec.index: rec for rec in replayed}
+        else:
+            jr.start(meta)
+    elif resume:
+        raise ValueError("resume=True requires a journal")
+
+    guarded = None
+    if backend == "engine":
+        from ..robust.guard import GuardedEngine
+
+        guarded = GuardedEngine(model)
+
+        def run(stack: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+            conf, boxes, _ = guarded.predict_batch(stack)
+            return conf, boxes
+    else:
+        def run(stack: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+            return predict(model, stack, batch_size=len(stack),
+                           backend=backend)
+
+    fresh: list[TileRecord] = []
+    for index, (r0, c0) in enumerate(origins):
+        if index in done:
+            continue
+        tile = np.asarray(
+            image[:, r0:r0 + window, c0:c0 + window], dtype=np.float32
+        )
+        result = sanitize_chip(tile, policy)
+        if result.status == "quarantined":
+            record = TileRecord(index, (r0, c0), "quarantined",
+                                reason=result.report.summary())
+        else:
+            record = _run_tile(run, result, index, (r0, c0), window,
+                               confidence_threshold)
+        fresh.append(record)
+        if jr is not None:
+            jr.append(record)
+
+    records = sorted(list(done.values()) + fresh, key=lambda rec: rec.index)
+    detections = [
+        SceneDetection(row=row, col=col, height=h, width=w, confidence=conf)
+        for rec in records for (row, col, h, w, conf) in rec.detections
+    ]
+    scanned = sum(1 for rec in records if rec.status in ("ok", "repaired"))
+    coverage = ScanCoverage(
+        tiles_total=len(origins),
+        tiles_scanned=scanned,
+        tiles_repaired=sum(1 for r in records if r.status == "repaired"),
+        tiles_quarantined=sum(1 for r in records if r.status == "quarantined"),
+        tiles_resumed=len(done),
+        engine_fallbacks=(sum(guarded.fallback_by_reason.values())
+                          if guarded is not None else 0),
+    )
+    return ScanDetections(non_max_suppression(detections, radius=nms_radius),
+                          coverage)
+
+
+def _run_tile(run, result, index: int, origin: tuple[int, int], window: int,
+              confidence_threshold: float):
+    """Model execution for one sanitized tile, with its fault boundary."""
+    from ..robust.journal import TileRecord
+
+    r0, c0 = origin
+    reason = "; ".join(result.repairs) if result.repairs else None
+    try:
+        conf, box = run(result.chip[None])
+    except Exception as exc:  # the fault boundary: poison stays in the tile
+        return TileRecord(index, origin, "quarantined",
+                          reason=f"model failure: {exc!r}")
+    conf0 = float(np.asarray(conf).reshape(-1)[0])
+    box0 = np.asarray(box, dtype=np.float64).reshape(-1)
+    if not (math.isfinite(conf0) and np.isfinite(box0).all()):
+        return TileRecord(index, origin, "quarantined",
+                          reason="non_finite_output")
+    detections: tuple = ()
+    if conf0 >= confidence_threshold:
+        cx, cy, w, h = (float(v) for v in box0[:4])
+        detections = ((r0 + cy * window, c0 + cx * window,
+                       h * window, w * window, conf0),)
+    return TileRecord(index, origin, result.status, reason=reason,
+                      detections=detections)
 
 
 @dataclass(frozen=True)
 class SceneDetectionScores:
-    """Center-distance matching of detections vs ground truth."""
+    """Center-distance matching of detections vs ground truth.
+
+    ``coverage`` records how much of the scene the scan behind these
+    detections actually saw (robust scans only; None otherwise) — an F1
+    from a scan that quarantined half its tiles is not comparable to one
+    from a full scan, so the two facts travel together.
+    """
 
     true_positives: int
     false_positives: int
     false_negatives: int
     mean_center_error: float
+    coverage: ScanCoverage | None = None
 
     @property
     def precision(self) -> float:
@@ -157,6 +391,7 @@ def evaluate_scene_detections(
     detections: list[SceneDetection],
     ground_truth: list[Crossing],
     match_radius: float = 15.0,
+    coverage: ScanCoverage | None = None,
 ) -> SceneDetectionScores:
     """Greedy one-to-one matching by center distance (confident first).
 
@@ -164,7 +399,13 @@ def evaluate_scene_detections(
     spec has no NaN literal, so serialized score artifacts must never
     contain one — check ``true_positives`` to distinguish "no matches"
     from "perfect centering".
+
+    When ``detections`` came from :func:`scan_scene` its
+    :class:`ScanCoverage` is adopted automatically; pass ``coverage``
+    explicitly to override.
     """
+    if coverage is None:
+        coverage = getattr(detections, "coverage", None)
     unmatched = list(ground_truth)
     tp = 0
     errors: list[float] = []
@@ -183,4 +424,5 @@ def evaluate_scene_detections(
         false_positives=len(detections) - tp,
         false_negatives=len(unmatched),
         mean_center_error=float(np.mean(errors)) if errors else 0.0,
+        coverage=coverage,
     )

@@ -1,0 +1,141 @@
+"""Append-only JSONL scan journal: per-tile checkpoint/resume for
+full-scene scans.
+
+Same pattern as :mod:`repro.nas.journal`, one level lower: every scanned
+*tile* (clean, repaired, or quarantined) is appended as one JSON line and
+flushed, so a scan killed at tile k has lost nothing — a resumed scan
+replays the journaled tiles verbatim and only runs the model on the
+remainder.  Line 1 is a header describing the scan (window, stride,
+threshold, scene size, backend); resuming against a journal whose header
+disagrees with the requested scan raises instead of silently mixing two
+different scans' detections.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+
+__all__ = ["TileRecord", "ScanJournal", "ScanJournalError"]
+
+_HEADER_KIND = "scan_header"
+_TILE_KIND = "tile"
+
+
+class ScanJournalError(RuntimeError):
+    """Corrupt journal, or a resume against a mismatched scan."""
+
+
+@dataclass(frozen=True)
+class TileRecord:
+    """One tile's outcome.
+
+    detections holds post-threshold, pre-NMS detections in *scene*
+    coordinates as (row, col, height, width, confidence) tuples — enough
+    to rebuild the exact NMS input without re-running the model.
+    """
+
+    index: int
+    origin: tuple[int, int]
+    status: str                   # "ok" | "repaired" | "quarantined"
+    reason: str | None = None
+    detections: tuple[tuple[float, float, float, float, float], ...] = field(
+        default=())
+
+    def to_json(self) -> dict:
+        return {
+            "kind": _TILE_KIND,
+            "index": self.index,
+            "origin": list(self.origin),
+            "status": self.status,
+            "reason": self.reason,
+            "detections": [list(d) for d in self.detections],
+        }
+
+    @staticmethod
+    def from_json(payload: dict) -> "TileRecord":
+        return TileRecord(
+            index=int(payload["index"]),
+            origin=(int(payload["origin"][0]), int(payload["origin"][1])),
+            status=str(payload["status"]),
+            reason=payload.get("reason"),
+            detections=tuple(tuple(float(v) for v in d)
+                             for d in payload.get("detections", ())),
+        )
+
+
+class ScanJournal:
+    """Crash-safe JSONL log of per-tile scan outcomes."""
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+
+    def exists(self) -> bool:
+        return self.path.exists()
+
+    def start(self, meta: dict) -> None:
+        """Begin a fresh journal (truncates any previous file)."""
+        line = json.dumps({"kind": _HEADER_KIND, **meta}, allow_nan=False)
+        with open(self.path, "w", encoding="utf-8") as fh:
+            fh.write(line + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+
+    def append(self, record: TileRecord) -> None:
+        """Write one tile record and force it to disk before returning.
+
+        Open/append/fsync/close per tile, like the trial journal: a tile
+        takes milliseconds of model time, and the whole point is that a
+        kill between tiles loses at most the tile in flight.
+        """
+        line = json.dumps(record.to_json(), allow_nan=False)
+        with open(self.path, "a", encoding="utf-8") as fh:
+            fh.write(line + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+
+    def load(self) -> tuple[dict, list[TileRecord]]:
+        """(header meta, tile records in completion order).
+
+        A trailing torn line (the write the crash interrupted) is
+        dropped; a torn line anywhere else is corruption and raises.
+        """
+        if not self.path.exists():
+            return {}, []
+        with open(self.path, encoding="utf-8") as fh:
+            lines = [ln.strip() for ln in fh]
+        lines = [ln for ln in lines if ln]
+        if not lines:
+            return {}, []
+        parsed: list[dict] = []
+        for i, line in enumerate(lines):
+            try:
+                parsed.append(json.loads(line))
+            except json.JSONDecodeError:
+                if i == len(lines) - 1:
+                    break  # torn final write from a crash — ignorable
+                raise ScanJournalError(
+                    f"{self.path}: corrupt journal line {i + 1}"
+                ) from None
+        if not parsed or parsed[0].get("kind") != _HEADER_KIND:
+            raise ScanJournalError(f"{self.path}: missing scan header")
+        meta = {k: v for k, v in parsed[0].items() if k != "kind"}
+        records = [TileRecord.from_json(p) for p in parsed[1:]
+                   if p.get("kind") == _TILE_KIND]
+        return meta, records
+
+    def check_meta(self, meta: dict) -> None:
+        """Raise unless the journal's header matches ``meta`` exactly."""
+        existing, _ = self.load()
+        if existing != meta:
+            diffs = sorted(set(existing) | set(meta))
+            detail = ", ".join(
+                f"{k}: journal={existing.get(k)!r} scan={meta.get(k)!r}"
+                for k in diffs if existing.get(k) != meta.get(k)
+            )
+            raise ScanJournalError(
+                f"{self.path}: journal belongs to a different scan ({detail})"
+            )

@@ -22,6 +22,7 @@ from .service import (
     DegradedServiceError,
     DetectionResult,
     InferenceService,
+    InvalidInputError,
     QueueFullError,
     RequestTimeoutError,
     ServeError,
@@ -50,4 +51,5 @@ __all__ = [
     "RequestTimeoutError",
     "ServiceStoppedError",
     "DegradedServiceError",
+    "InvalidInputError",
 ]

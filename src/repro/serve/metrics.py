@@ -118,11 +118,13 @@ class ServiceMetrics:
         self.worker_retries = Counter()
         self.degraded_served = Counter()
         self.degraded_rejected = Counter()
+        self.invalid_inputs = Counter()
         self.queue_depth = Gauge()
         self.latency_ms = Histogram()
         self.batch_latency_ms = Histogram()
         self._batch_sizes: TallyCounter[int] = TallyCounter()
         self._backend_results: TallyCounter[str] = TallyCounter()
+        self._fallbacks: TallyCounter[str] = TallyCounter()
         self._breaker_state = "closed"
         self._breaker_transitions: TallyCounter[str] = TallyCounter()
         self._lock = threading.Lock()
@@ -156,6 +158,19 @@ class ServiceMetrics:
     def completed_by_backend(self) -> dict[str, int]:
         with self._lock:
             return dict(sorted(self._backend_results.items()))
+
+    def record_fallback(self, reason: str) -> None:
+        """Tally one engine→eager fallback by its guard reason
+        (non-finite output, shape mismatch, engine error, breaker open).
+        Fed by :class:`repro.robust.GuardedEngine` when the service runs
+        ``backend="engine"``."""
+        with self._lock:
+            self._fallbacks[reason] += 1
+
+    @property
+    def fallback_by_reason(self) -> dict[str, int]:
+        with self._lock:
+            return dict(sorted(self._fallbacks.items()))
 
     def observe_batch(self, size: int, latency_ms: float) -> None:
         with self._lock:
@@ -196,6 +211,8 @@ class ServiceMetrics:
             "worker_retries": self.worker_retries.value,
             "degraded_served": self.degraded_served.value,
             "degraded_rejected": self.degraded_rejected.value,
+            "invalid_inputs": self.invalid_inputs.value,
+            "fallback_by_reason": self.fallback_by_reason,
             "breaker_state": self.breaker_state,
             "breaker_transitions": self.breaker_transitions,
             "queue_depth": self.queue_depth.value,
@@ -257,5 +274,13 @@ def format_service_report(metrics: ServiceMetrics, label: str = "serve") -> str:
         f"{snap['worker_failures']:9d}  {snap['worker_retries']:9d}  "
         f"{snap['degraded_served']:9d}  {snap['degraded_rejected']:9d}  "
         f"{snap['breaker_state']:>9}",
+        "",
+        "Robustness Statistics:",
+        f"{'Invalid':>9}  {'Fallbacks':>9}",
+        rule(),
+        f"{snap['invalid_inputs']:9d}  "
+        f"{sum(snap['fallback_by_reason'].values()):9d}",
     ]
+    for reason, count in snap["fallback_by_reason"].items():
+        lines.append(f"  engine->eager [{reason}]: {count}")
     return "\n".join(lines)

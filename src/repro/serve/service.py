@@ -48,6 +48,7 @@ __all__ = [
     "RequestTimeoutError",
     "ServiceStoppedError",
     "DegradedServiceError",
+    "InvalidInputError",
     "DetectionResult",
     "InferenceService",
 ]
@@ -71,6 +72,12 @@ class ServiceStoppedError(ServeError):
 
 class DegradedServiceError(ServeError):
     """The circuit breaker is open and the request is not in the cache."""
+
+
+class InvalidInputError(ServeError):
+    """The submitted chip failed admission validation (non-finite pixels
+    or policy-defined damage).  Rejecting it at submit keeps one bad chip
+    from poisoning the whole micro-batch it would have ridden in."""
 
 
 @dataclass(frozen=True)
@@ -132,11 +139,29 @@ class InferenceService:
     backend     : ``"eager"`` (default) runs the autograd model;
                   ``"engine"`` compiles the model at service start
                   (:func:`repro.engine.compile`) and serves every batch
-                  through the compiled program.  The engine serializes
-                  execution internally, so pair it with the default
+                  through the *guarded* compiled program
+                  (:class:`repro.robust.GuardedEngine`): outputs are
+                  checked for non-finite values and shape mismatches,
+                  violations transparently re-execute on the eager
+                  backend (tallied in the metrics snapshot's
+                  ``fallback_by_reason``), and repeated engine faults
+                  trip an engine-scoped circuit breaker toward
+                  eager-only.  The engine serializes execution
+                  internally, so pair it with the default
                   ``num_workers=1``; results record which backend
                   produced them (:class:`DetectionResult` and the
                   metrics snapshot's ``completed_by_backend``).
+    engine      : a pre-built :class:`~repro.robust.GuardedEngine` to
+                  serve with (implies ``backend="engine"``); lets tests
+                  inject faulty compiled programs and deployments share
+                  one compile across services
+    validate    : admission control for :meth:`submit`.  ``True``
+                  (default) rejects chips with non-finite pixels
+                  (:meth:`~repro.robust.SanitizePolicy.for_serving`);
+                  a :class:`~repro.robust.SanitizePolicy` applies that
+                  policy's checks; ``False`` disables validation.
+                  Rejections raise :class:`InvalidInputError` and count
+                  in ``metrics.invalid_inputs``.
     predict_fn  : model-execution function
                   ``(model, stack, batch_size) -> (confidences, boxes)``;
                   injectable for fault-injection tests (``repro.faults``).
@@ -157,6 +182,8 @@ class InferenceService:
         breaker: BreakerPolicy | None = None,
         max_batch_retries: int = 1,
         backend: str = "eager",
+        engine=None,
+        validate=True,
         predict_fn=None,
     ) -> None:
         if max_queue < 1:
@@ -165,6 +192,8 @@ class InferenceService:
             raise ValueError("num_workers must be >= 1")
         if max_batch_retries < 0:
             raise ValueError("max_batch_retries must be >= 0")
+        if engine is not None:
+            backend = "engine"
         if backend not in ("eager", "engine"):
             raise ValueError(
                 f"unknown backend {backend!r}; use 'eager' or 'engine'"
@@ -178,18 +207,29 @@ class InferenceService:
         self.breaker = CircuitBreaker(
             breaker, on_transition=self.metrics.record_breaker_transition
         )
+        self._validate_policy = None
+        if validate is True:
+            from ..robust.sanitize import SanitizePolicy
+
+            self._validate_policy = SanitizePolicy.for_serving()
+        elif validate:  # a SanitizePolicy
+            self._validate_policy = validate
+        self.engine = None
         if predict_fn is not None:
             self.backend = "custom"
             self._predict_fn = predict_fn
         elif backend == "engine":
-            from ..engine import compile as engine_compile
+            if engine is None:
+                from ..robust.guard import GuardedEngine
 
+                model.eval()
+                engine = GuardedEngine(model)
+            engine.add_fallback_listener(self.metrics.record_fallback)
+            self.engine = engine
             self.backend = "engine"
-            model.eval()
-            compiled = engine_compile(model)
             self._predict_fn = (
                 lambda _model, stack, batch_size:
-                compiled.predict(stack, batch_size=batch_size)
+                engine.predict_batch(stack, batch_size=batch_size)
             )
         else:
             self.backend = "eager"
@@ -232,12 +272,23 @@ class InferenceService:
         ``timeout_s`` is a dispatch deadline: if the request is still
         queued when it expires, its future fails with
         :class:`RequestTimeoutError`.  Raises :class:`QueueFullError`
-        immediately when the bounded queue is at capacity and
+        immediately when the bounded queue is at capacity,
+        :class:`InvalidInputError` when the chip fails the admission
+        policy (so one NaN chip cannot poison a whole micro-batch), and
         :class:`ServiceStoppedError` after shutdown began.
         """
         if chip.ndim != 3:
             raise ValueError(f"expected one (C, H, W) chip, got shape {chip.shape}")
         self.metrics.submitted.inc()
+        if self._validate_policy is not None:
+            from ..robust.sanitize import validate_chip
+
+            report = validate_chip(chip, self._validate_policy)
+            if not report.ok:
+                self.metrics.invalid_inputs.inc()
+                raise InvalidInputError(
+                    f"chip failed input validation: {report.summary()}"
+                )
 
         key = chip_key(chip) if self.cache.capacity else ""
         degraded = self.breaker.state == OPEN
@@ -459,12 +510,19 @@ class InferenceService:
                 return
             stack = np.stack([p.chip for p in batch])
             attempts = 0
+            used_backend = self.backend
             while True:
                 attempts += 1
                 try:
-                    confidences, boxes = self._predict_fn(
+                    out = self._predict_fn(
                         self.model, stack, batch_size=len(batch)
                     )
+                    # the guarded engine also reports which backend
+                    # actually answered (engine, or eager on fallback)
+                    if len(out) == 3:
+                        confidences, boxes, used_backend = out
+                    else:
+                        confidences, boxes = out
                     self.breaker.record_success()
                     break
                 except BaseException as exc:
@@ -483,10 +541,10 @@ class InferenceService:
             for pending, conf, box in zip(batch, confidences, boxes):
                 result = DetectionResult(
                     float(conf), box.copy(), cached=False,
-                    batch_size=len(batch), backend=self.backend,
+                    batch_size=len(batch), backend=used_backend,
                 )
                 self.cache.put(pending.key, result)
-                self.metrics.record_backend(self.backend)
+                self.metrics.record_backend(used_backend)
                 self.metrics.completed.inc()
                 self.metrics.latency_ms.observe((now - pending.enqueued_at) * 1e3)
                 pending.future.set_result(result)

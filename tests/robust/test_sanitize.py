@@ -1,0 +1,180 @@
+"""Chip/raster sanitization: detection, repair, quarantine."""
+
+import numpy as np
+import pytest
+
+from repro.faults import (
+    NODATA,
+    DropBand,
+    NaNPepper,
+    NodataHoles,
+    SaturateStripe,
+    TruncateTile,
+)
+from repro.robust import SanitizePolicy, sanitize_chip, sanitize_scene, validate_chip
+
+
+def chip(seed=0, shape=(4, 24, 24)):
+    return np.random.default_rng(seed).random(shape).astype(np.float32)
+
+
+def kinds(report):
+    return {issue.kind for issue in report.issues}
+
+
+class TestValidate:
+    def test_clean_chip_is_ok(self):
+        report = validate_chip(chip(), SanitizePolicy.for_scene())
+        assert report.ok and report.repairable and report.issues == ()
+
+    def test_detects_non_finite(self):
+        bad = chip()
+        bad[0, 3, 3] = np.nan
+        bad[2, 5, 5] = np.inf
+        report = validate_chip(bad)
+        assert kinds(report) == {"non_finite"}
+        assert report.issues[0].count == 2
+
+    def test_detects_nodata_holes(self):
+        report = validate_chip(NodataHoles(seed=0)(chip()))
+        assert kinds(report) == {"nodata_hole"}
+
+    def test_nodata_check_can_be_disabled(self):
+        bad = NodataHoles(seed=0)(chip())
+        assert validate_chip(bad, SanitizePolicy(nodata_value=None)).ok
+
+    def test_detects_dropped_band_as_band_issue(self):
+        """An all-NaN band is one missing band, not H*W pixel issues."""
+        report = validate_chip(DropBand(band=2, seed=0)(chip()))
+        assert kinds(report) == {"missing_band"}
+        assert report.issues[0].band == 2
+
+    def test_detects_constant_band(self):
+        bad = chip()
+        bad[1] = 0.5
+        report = validate_chip(bad)
+        assert kinds(report) == {"constant_band"}
+
+    def test_detects_saturation_only_with_range(self):
+        bad = SaturateStripe(value=4.0, seed=0)(chip())
+        assert validate_chip(bad).ok  # no range configured
+        report = validate_chip(bad, SanitizePolicy(valid_range=(0.0, 1.0)))
+        assert kinds(report) == {"saturated"}
+
+    def test_detects_truncation_via_expected_shape(self):
+        small = TruncateTile(seed=0)(chip())
+        policy = SanitizePolicy(expected_shape=(24, 24))
+        report = validate_chip(small, policy)
+        assert kinds(report) == {"wrong_shape"} and report.repairable
+
+    def test_detects_missing_band_count(self):
+        policy = SanitizePolicy(expected_bands=4)
+        report = validate_chip(chip(shape=(3, 24, 24)), policy)
+        assert kinds(report) == {"missing_band"}
+        assert not report.repairable  # physically absent: nothing to impute
+
+    def test_wrong_rank_raises(self):
+        with pytest.raises(ValueError):
+            validate_chip(np.zeros((24, 24)))
+
+
+class TestRepair:
+    def test_ok_chip_returned_unchanged(self):
+        x = chip()
+        result = sanitize_chip(x, SanitizePolicy.for_scene())
+        assert result.status == "ok" and result.chip is x
+
+    def test_never_mutates_input(self):
+        bad = NaNPepper(rate=0.1, seed=0)(chip())
+        before = bad.copy()
+        sanitize_chip(bad)
+        assert np.array_equal(np.isnan(bad), np.isnan(before))
+
+    def test_nan_pepper_infilled(self):
+        bad = NaNPepper(rate=0.1, seed=0)(chip())
+        result = sanitize_chip(bad)
+        assert result.status == "repaired"
+        assert np.isfinite(result.chip).all()
+        untouched = ~np.isnan(bad)
+        assert np.array_equal(result.chip[untouched], bad[untouched])
+
+    def test_dropped_band_imputed_from_survivors(self):
+        clean = chip()
+        result = sanitize_chip(DropBand(band=1, seed=0)(clean))
+        assert result.status == "repaired"
+        donors = result.chip[[0, 2, 3]]
+        assert np.allclose(result.chip[1], donors.mean(axis=0))
+        # imputation keeps spatial structure, not a flat fill
+        assert result.chip[1].std() > 0.0
+
+    def test_saturation_clipped(self):
+        bad = SaturateStripe(value=4.0, seed=0)(chip())
+        result = sanitize_chip(bad, SanitizePolicy(valid_range=(0.0, 1.0)))
+        assert result.status == "repaired"
+        assert result.chip.max() <= 1.0
+
+    def test_truncated_tile_padded_to_expected_shape(self):
+        small = TruncateTile(seed=0)(chip())
+        result = sanitize_chip(small, SanitizePolicy(expected_shape=(24, 24)))
+        assert result.status == "repaired"
+        assert result.chip.shape == (4, 24, 24)
+        c, h, w = small.shape
+        assert np.array_equal(result.chip[:, :h, :w], small)
+
+    def test_oversized_chip_not_repairable(self):
+        result = sanitize_chip(chip(shape=(4, 30, 30)),
+                               SanitizePolicy(expected_shape=(24, 24)))
+        assert result.status == "quarantined" and result.chip is None
+
+
+class TestQuarantine:
+    def test_quarantine_only_policy_never_repairs(self):
+        bad = NaNPepper(rate=0.05, seed=0)(chip())
+        result = sanitize_chip(bad, SanitizePolicy.quarantine_only())
+        assert result.status == "quarantined" and result.chip is None
+        assert not result.report.repairable
+
+    def test_mostly_bad_chip_quarantined(self):
+        """Beyond max_bad_fraction, repair would be invention."""
+        bad = NaNPepper(rate=0.8, seed=0)(chip())
+        result = sanitize_chip(bad, SanitizePolicy(max_bad_fraction=0.5))
+        assert result.status == "quarantined"
+
+    def test_all_bands_gone_quarantined(self):
+        result = sanitize_chip(np.full((4, 24, 24), np.nan, dtype=np.float32))
+        assert result.status == "quarantined"
+
+    def test_report_summary_names_the_damage(self):
+        result = sanitize_chip(DropBand(band=0, seed=0)(chip()),
+                               SanitizePolicy.quarantine_only())
+        assert "missing_band" in result.report.summary()
+
+
+class TestPolicies:
+    def test_for_serving_checks_only_finiteness(self):
+        policy = SanitizePolicy.for_serving()
+        assert validate_chip(NodataHoles(seed=0)(chip()), policy).ok
+        bad = chip()
+        bad[0, 0, 0] = np.nan
+        assert not validate_chip(bad, policy).ok
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SanitizePolicy(max_bad_fraction=0.0)
+        with pytest.raises(ValueError):
+            SanitizePolicy(valid_range=(1.0, 0.0))
+
+
+class TestSanitizeScene:
+    def test_scene_raster_repaired_in_one_pass(self):
+        image = chip(seed=3, shape=(4, 64, 64))
+        bad = NaNPepper(rate=0.02, seed=1)(image)
+        fixed, result = sanitize_scene(bad)
+        assert result.status == "repaired"
+        assert np.isfinite(fixed).all()
+
+    def test_unrepairable_scene_returned_unrepaired(self):
+        image = np.full((4, 32, 32), np.nan, dtype=np.float32)
+        fixed, result = sanitize_scene(image)
+        assert result.status == "quarantined"
+        assert np.isnan(fixed).all()  # caller quarantines per tile instead

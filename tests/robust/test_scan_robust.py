@@ -1,0 +1,283 @@
+"""Robust full-scene scanning: quarantine, journal, resume, NMS hygiene."""
+
+import json
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.arch import ConvSpec, PoolSpec, SPPNetConfig
+from repro.detect import (
+    SceneDetection,
+    SPPNetDetector,
+    evaluate_scene_detections,
+    non_max_suppression,
+    scan_origins,
+    scan_scene,
+)
+from repro.faults import FatalOn, InjectedFault, corrupt_scene
+from repro.geo import WatershedConfig, build_scene
+from repro.robust import SanitizePolicy, ScanJournal, ScanJournalError
+
+WINDOW = 64
+STRIDE = 64
+
+
+@pytest.fixture(scope="module")
+def scene():
+    return build_scene(WatershedConfig(size=192, road_spacing=64,
+                                       stream_threshold=600, seed=5))
+
+
+@pytest.fixture(scope="module")
+def model():
+    arch = SPPNetConfig(
+        convs=(ConvSpec(8, 3, 1),), pools=(PoolSpec(2, 2),),
+        spp_levels=(2, 1), fc_sizes=(32,), name="robust-scan-test",
+    )
+    return SPPNetDetector(arch, seed=0)
+
+
+def corrupted(scene, fraction=0.25, seed=7):
+    origins = scan_origins(scene.size, WINDOW, STRIDE)
+    image, applied = corrupt_scene(scene.image, origins, WINDOW,
+                                   fraction=fraction, seed=seed)
+    return replace(scene, image=image), applied
+
+
+def det(r, c, conf):
+    return SceneDetection(row=r, col=c, height=12.0, width=12.0,
+                          confidence=conf)
+
+
+class TestNMSFiniteness:
+    def test_nan_confidence_dropped_before_sorting(self):
+        kept = non_max_suppression(
+            [det(10, 10, float("nan")), det(80, 80, 0.9)], radius=10)
+        assert [k.confidence for k in kept] == [0.9]
+
+    def test_nan_coordinates_dropped(self):
+        kept = non_max_suppression(
+            [det(float("nan"), 10, 0.95), det(80, 80, 0.9)], radius=10)
+        assert [k.confidence for k in kept] == [0.9]
+
+    def test_inf_geometry_dropped(self):
+        bad = SceneDetection(row=1.0, col=1.0, height=float("inf"),
+                             width=12.0, confidence=0.99)
+        assert non_max_suppression([bad, det(80, 80, 0.9)], radius=10) \
+            == [det(80, 80, 0.9)]
+
+    def test_survivors_serialize_with_allow_nan_false(self):
+        kept = non_max_suppression(
+            [det(10, 10, float("nan")), det(80, 80, 0.9)], radius=10)
+        json.dumps([k.__dict__ for k in kept], allow_nan=False)
+
+
+class TestRobustScan:
+    def test_clean_scene_matches_plain_scan(self, scene, model):
+        kwargs = dict(window=WINDOW, stride=STRIDE, confidence_threshold=0.6)
+        plain = scan_scene(model, scene, **kwargs)
+        robust = scan_scene(model, scene, sanitize=SanitizePolicy.for_scene(),
+                            **kwargs)
+        assert len(plain) == len(robust)
+        for a, b in zip(sorted(plain, key=lambda d: d.center),
+                        sorted(robust, key=lambda d: d.center)):
+            assert a.center == b.center
+            assert a.confidence == pytest.approx(b.confidence, abs=1e-5)
+        cov = robust.coverage
+        assert cov.coverage == 1.0 and cov.tiles_quarantined == 0
+
+    def test_corrupted_scene_scans_to_completion(self, scene, model):
+        bad_scene, applied = corrupted(scene)
+        assert applied  # the injection actually happened
+        result = scan_scene(model, bad_scene, window=WINDOW, stride=STRIDE,
+                            confidence_threshold=0.6,
+                            sanitize=SanitizePolicy.for_scene())
+        cov = result.coverage
+        assert cov.tiles_total == len(scan_origins(scene.size, WINDOW, STRIDE))
+        assert cov.tiles_scanned + cov.tiles_quarantined == cov.tiles_total
+        assert cov.tiles_repaired > 0
+        for d in result:
+            assert d.is_finite()
+
+    def test_quarantine_only_policy_skips_damaged_tiles(self, scene, model):
+        bad_scene, applied = corrupted(scene)
+        result = scan_scene(
+            model, bad_scene, window=WINDOW, stride=STRIDE,
+            confidence_threshold=0.6,
+            sanitize=SanitizePolicy.quarantine_only(
+                valid_range=(0.0, 1.0), expected_bands=4),
+        )
+        assert result.coverage.tiles_quarantined == len(applied)
+        assert result.coverage.tiles_repaired == 0
+
+    def test_model_crash_is_contained_to_the_tile(self, scene, model,
+                                                  monkeypatch):
+        """A predict() that blows up on one tile quarantines that tile
+        and the scan still completes."""
+        import repro.detect.scan as scan_mod
+
+        real = scan_mod.predict
+        poisoned = FatalOn(real, poisoned={True},
+                           key=lambda m, stack, **kw: bool(np.any(
+                               stack[:, :, :8, :8] > 0.999)))
+        # poison whichever tiles have a near-1 corner pixel; force some
+        bad_image = scene.image.copy()
+        bad_image[:, 64:72, 64:72] = 0.9999
+        bad_scene = replace(scene, image=bad_image)
+        monkeypatch.setattr(scan_mod, "predict", poisoned)
+        result = scan_scene(model, bad_scene, window=WINDOW, stride=STRIDE,
+                            confidence_threshold=0.6,
+                            sanitize=SanitizePolicy.for_scene())
+        assert poisoned.faults >= 1
+        assert result.coverage.tiles_quarantined == poisoned.faults
+        assert result.coverage.tiles_scanned \
+            == result.coverage.tiles_total - poisoned.faults
+
+    def test_non_finite_model_output_quarantines_tile(self, scene, model,
+                                                      monkeypatch):
+        import repro.detect.scan as scan_mod
+
+        calls = {"n": 0}
+        real = scan_mod.predict
+
+        def nan_on_third(m, stack, **kw):
+            calls["n"] += 1
+            conf, boxes = real(m, stack, **kw)
+            if calls["n"] == 3:
+                conf = np.full_like(conf, np.nan)
+            return conf, boxes
+
+        monkeypatch.setattr(scan_mod, "predict", nan_on_third)
+        result = scan_scene(model, scene, window=WINDOW, stride=STRIDE,
+                            confidence_threshold=0.6,
+                            sanitize=SanitizePolicy.for_scene())
+        assert result.coverage.tiles_quarantined == 1
+        for d in result:
+            assert d.is_finite()
+
+    def test_service_plus_robust_rejected(self, scene, model):
+        with pytest.raises(ValueError):
+            scan_scene(model, scene, sanitize=SanitizePolicy.for_scene(),
+                       service=object())
+
+    def test_resume_without_journal_rejected(self, scene, model):
+        with pytest.raises(ValueError):
+            scan_scene(model, scene, resume=True)
+
+    def test_coverage_flows_into_scores(self, scene, model):
+        bad_scene, _ = corrupted(scene)
+        result = scan_scene(model, bad_scene, window=WINDOW, stride=STRIDE,
+                            confidence_threshold=0.6,
+                            sanitize=SanitizePolicy.for_scene())
+        scores = evaluate_scene_detections(result, scene.crossings)
+        assert scores.coverage is result.coverage
+
+
+class TestJournalResume:
+    def scan(self, model, scene, journal, resume=False):
+        return scan_scene(model, scene, window=WINDOW, stride=STRIDE,
+                          confidence_threshold=0.6,
+                          sanitize=SanitizePolicy.for_scene(),
+                          journal=journal, resume=resume)
+
+    def test_journal_records_every_tile(self, scene, model, tmp_path):
+        bad_scene, applied = corrupted(scene)
+        path = tmp_path / "scan.jsonl"
+        result = self.scan(model, bad_scene, path)
+        meta, records = ScanJournal(path).load()
+        assert meta["window"] == WINDOW and meta["scene_size"] == scene.size
+        assert len(records) == result.coverage.tiles_total
+        statuses = {rec.index: rec.status for rec in records}
+        assert all(statuses[i] != "ok" for i in applied)
+
+    def test_interrupted_scan_resumes_identically(self, scene, model,
+                                                  tmp_path):
+        """Truncating the journal after k tiles and resuming reproduces
+        the uninterrupted scan's detections exactly (same bytes)."""
+        bad_scene, _ = corrupted(scene)
+        full_path = tmp_path / "full.jsonl"
+        full = self.scan(model, bad_scene, full_path)
+
+        lines = full_path.read_text().splitlines()
+        for cut in (1, 4, len(lines) - 1):  # header + k tiles
+            part_path = tmp_path / f"part{cut}.jsonl"
+            part_path.write_text("\n".join(lines[:cut + 1]) + "\n")
+            resumed = self.scan(model, bad_scene, part_path, resume=True)
+            assert json.dumps([d.__dict__ for d in resumed]) \
+                == json.dumps([d.__dict__ for d in full])
+            assert resumed.coverage.tiles_resumed == cut
+            # the resumed journal converges to the full one
+            assert part_path.read_text().splitlines()[1:] == lines[1:]
+
+    def test_resume_replays_without_running_the_model(self, scene, model,
+                                                      tmp_path, monkeypatch):
+        path = tmp_path / "scan.jsonl"
+        self.scan(model, scene, path)
+
+        import repro.detect.scan as scan_mod
+
+        def boom(*a, **kw):
+            raise AssertionError("model must not run on a complete journal")
+
+        monkeypatch.setattr(scan_mod, "predict", boom)
+        resumed = self.scan(model, scene, path, resume=True)
+        assert resumed.coverage.tiles_resumed == resumed.coverage.tiles_total
+
+    def test_resume_against_mismatched_scan_raises(self, scene, model,
+                                                   tmp_path):
+        path = tmp_path / "scan.jsonl"
+        self.scan(model, scene, path)
+        with pytest.raises(ScanJournalError):
+            scan_scene(model, scene, window=WINDOW, stride=32,
+                       confidence_threshold=0.6,
+                       sanitize=SanitizePolicy.for_scene(),
+                       journal=path, resume=True)
+
+    def test_torn_final_line_is_dropped(self, scene, model, tmp_path):
+        path = tmp_path / "scan.jsonl"
+        self.scan(model, scene, path)
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write('{"kind": "tile", "index":')  # the crash-torn write
+        _, records = ScanJournal(path).load()
+        assert len(records) == len(scan_origins(scene.size, WINDOW, STRIDE))
+
+    def test_fresh_scan_truncates_stale_journal(self, scene, model, tmp_path):
+        path = tmp_path / "scan.jsonl"
+        path.write_text('{"kind": "scan_header", "window": 1}\n')
+        result = self.scan(model, scene, path, resume=False)
+        assert result.coverage.tiles_resumed == 0
+        meta, _ = ScanJournal(path).load()
+        assert meta["window"] == WINDOW
+
+
+class TestJournalFaults:
+    def test_fatalon_poisoned_tiles_quarantined_and_journaled(
+            self, scene, model, tmp_path, monkeypatch):
+        """The quarantine fault model end to end: deterministic poisoned
+        inputs never succeed, and a resume does not retry them."""
+        import repro.detect.scan as scan_mod
+
+        origins = scan_origins(scene.size, WINDOW, STRIDE)
+        poison_origin = origins[4]
+        r, c = poison_origin
+        key_tile = scene.image[:, r:r + WINDOW, c:c + WINDOW]
+
+        real = scan_mod.predict
+        poisoned = FatalOn(
+            real, poisoned={key_tile[0, 0, 0].tobytes()},
+            key=lambda m, stack, **kw: stack[0, 0, 0, 0].tobytes(),
+            exc=InjectedFault,
+        )
+        monkeypatch.setattr(scan_mod, "predict", poisoned)
+        path = tmp_path / "scan.jsonl"
+        result = scan_scene(model, scene, window=WINDOW, stride=STRIDE,
+                            confidence_threshold=0.6,
+                            sanitize=SanitizePolicy.for_scene(),
+                            journal=path)
+        assert result.coverage.tiles_quarantined >= 1
+        _, records = ScanJournal(path).load()
+        quarantined = [rec for rec in records if rec.status == "quarantined"]
+        assert any(rec.origin == poison_origin for rec in quarantined)
+        assert all("InjectedFault" in (rec.reason or "")
+                   for rec in quarantined)

@@ -1,8 +1,22 @@
-"""Deterministic fault-injection wrappers."""
+"""Deterministic fault-injection wrappers and corruption injectors."""
 
+import numpy as np
 import pytest
 
-from repro.faults import FailFirst, FatalOn, Flaky, InjectedFault, Slow
+from repro.faults import (
+    NODATA,
+    DropBand,
+    FailFirst,
+    FatalOn,
+    Flaky,
+    InjectedFault,
+    NaNPepper,
+    NodataHoles,
+    SaturateStripe,
+    Slow,
+    TruncateTile,
+    corrupt_scene,
+)
 
 
 class TestFlaky:
@@ -74,3 +88,102 @@ class TestSlow:
     def test_negative_delay_rejected(self):
         with pytest.raises(ValueError):
             Slow(lambda: None, delay_s=-1.0)
+
+
+def chip(seed=0, shape=(4, 24, 24)):
+    return np.random.default_rng(seed).random(shape).astype(np.float32)
+
+
+class TestCorruptions:
+    def test_calls_are_replayable(self):
+        """The k-th corruption is a function of (seed, k) only — two
+        instances with the same seed produce identical sequences."""
+        a, b = NaNPepper(rate=0.2, seed=9), NaNPepper(rate=0.2, seed=9)
+        x = chip()
+        for _ in range(3):
+            out_a, out_b = a(x), b(x)
+            assert np.array_equal(np.isnan(out_a), np.isnan(out_b))
+        assert not np.array_equal(
+            np.isnan(NaNPepper(rate=0.2, seed=1)(x)), np.isnan(a(x))
+        )
+
+    def test_input_never_modified(self):
+        x = chip()
+        before = x.copy()
+        for inj in (NaNPepper(rate=0.5), NodataHoles(), DropBand(),
+                    SaturateStripe(), TruncateTile()):
+            inj(x)
+        assert np.array_equal(x, before)
+
+    def test_nan_pepper_rate(self):
+        out = NaNPepper(rate=0.25, seed=0)(chip())
+        frac = np.isnan(out).mean()
+        assert 0.15 < frac < 0.35
+
+    def test_nodata_holes_use_sentinel(self):
+        out = NodataHoles(holes=2, radius=4, seed=0)(chip())
+        assert (out == NODATA).any()
+        assert np.isfinite(out).all()  # nodata is a value, not NaN
+        # holes punch through every band at the same location
+        hole = out[0] == NODATA
+        for band in out[1:]:
+            assert np.array_equal(band == NODATA, hole)
+
+    def test_drop_band_blanks_exactly_one(self):
+        out = DropBand(band=1, seed=0)(chip())
+        assert np.isnan(out[1]).all()
+        assert np.isfinite(np.delete(out, 1, axis=0)).all()
+
+    def test_drop_band_random_choice_is_seeded(self):
+        x = chip()
+        a = DropBand(seed=3)(x)
+        b = DropBand(seed=3)(x)
+        assert np.array_equal(np.isnan(a), np.isnan(b))
+
+    def test_saturate_stripe_out_of_range(self):
+        out = SaturateStripe(width=5, value=4.0, seed=0)(chip())
+        assert (out == 4.0).any()
+        assert np.isfinite(out).all()
+
+    def test_truncate_returns_smaller_tile(self):
+        out = TruncateTile(max_loss=0.25, seed=0)(chip())
+        c, h, w = out.shape
+        assert c == 4 and h < 24 and w < 24
+        assert h >= 18 and w >= 18  # at most 25% of each axis lost
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NaNPepper(rate=2.0)
+        with pytest.raises(ValueError):
+            NodataHoles(holes=0)
+        with pytest.raises(ValueError):
+            TruncateTile(max_loss=1.5)
+        with pytest.raises(ValueError):
+            NaNPepper()(np.zeros((3, 3)))  # not (C, H, W)
+
+
+class TestCorruptScene:
+    def test_corrupts_requested_fraction_deterministically(self):
+        image = chip(seed=1, shape=(4, 96, 96))
+        origins = [(r, c) for r in (0, 32, 64) for c in (0, 32, 64)]
+        out1, applied1 = corrupt_scene(image, origins, 32, fraction=0.33, seed=5)
+        out2, applied2 = corrupt_scene(image, origins, 32, fraction=0.33, seed=5)
+        assert applied1 == applied2 and len(applied1) == 3
+        assert np.array_equal(np.isnan(out1), np.isnan(out2))
+        # untouched tiles are bit-identical to the original
+        for i, (r, c) in enumerate(origins):
+            tile = out1[:, r:r + 32, c:c + 32]
+            if i not in applied1:
+                assert np.array_equal(tile, image[:, r:r + 32, c:c + 32])
+
+    def test_truncation_becomes_nodata_strip(self):
+        """A shrunken tile cannot change the scene raster's shape, so the
+        lost strip is represented as nodata — like a real mosaicker."""
+        image = chip(seed=2, shape=(4, 64, 64))
+        out, applied = corrupt_scene(
+            image, [(0, 0)], 64, fraction=1.0,
+            injectors=[TruncateTile(seed=0)], seed=0,
+        )
+        assert out.shape == image.shape
+        assert applied == {0: "TruncateTile"}
+        assert (out == NODATA).any()
