@@ -1,0 +1,225 @@
+"""Whole-scene scan throughput: streaming tiler, engine, and sharded workers.
+
+The deployment unit of the paper's detector is not one chip but one
+*scene*: thousands of overlapping windows swept across a watershed
+raster.  This benchmark measures that sweep three ways on the same
+scene —
+
+* sequential eager   : the streaming :class:`~repro.scanpar.TileSource`
+  path through the autograd backend (the floor);
+* sequential engine  : same single process, compiled engine backend;
+* parallel eager / parallel engine :
+  :func:`~repro.scanpar.parallel_scan_scene` with shared-memory
+  sharding and engine-warm workers.
+
+Every parallel configuration is parity-checked against the sequential
+scan of the same backend — the scanpar determinism contract says
+detections and coverage must match exactly — and the streaming
+tiler's bounded batch buffer is recorded
+against the bytes the old materialize-everything scan would have
+allocated.  Emits ``BENCH_scan.json``.
+
+The speedup gate is honest about hardware: sharding cannot beat the
+sequential scan on a single-core runner, so ``--gate auto`` (default)
+enforces the >= 2x parallel speedup only when at least two cores are
+visible and falls back to parity-only otherwise; CI's shared runners
+pin ``--gate parity`` explicitly.
+
+Usage::
+
+    python benchmarks/bench_scan.py [--scene-size N] [--gate MODE] [--out PATH]
+
+Also collectable by pytest (``pytest benchmarks/bench_scan.py``).
+"""
+
+import argparse
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.arch import ConvSpec, PoolSpec, SPPNetConfig
+from repro.detect import SPPNetDetector, scan_scene
+from repro.detect.scan import scan_origins
+from repro.geo import WatershedConfig, build_scene
+from repro.scanpar import TileSource, parallel_scan_scene
+
+SCENE_SIZE = 384
+WINDOW = 64
+STRIDE = 32
+BATCH_SIZE = 20
+CONFIDENCE = 0.3
+SPEEDUP_GATE = 2.0   # parallel engine vs sequential eager, >= 2 workers
+
+ARCH = SPPNetConfig(
+    convs=(ConvSpec(8, 3, 1),), pools=(PoolSpec(2, 2),),
+    spp_levels=(2, 1), fc_sizes=(32,), name="scan-bench",
+)
+
+
+def cpu_count() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # non-Linux
+        return os.cpu_count() or 1
+
+
+def make_scene(size: int = SCENE_SIZE):
+    return build_scene(WatershedConfig(size=size, road_spacing=96,
+                                       stream_threshold=600, seed=5))
+
+
+def timed_scan(model, scene, n_tiles: int, **kwargs) -> tuple[float, object]:
+    """(tiles/second, ScanDetections) for one scan configuration."""
+    start = time.perf_counter()
+    result = scan_scene(model, scene, window=WINDOW, stride=STRIDE,
+                        confidence_threshold=CONFIDENCE,
+                        batch_size=BATCH_SIZE, **kwargs)
+    return n_tiles / (time.perf_counter() - start), result
+
+
+def run_benchmark(scene_size: int = SCENE_SIZE,
+                  n_workers: int | None = None) -> dict:
+    model = SPPNetDetector(ARCH, seed=0)
+    model.eval()
+    scene = make_scene(scene_size)
+    origins = scan_origins(scene.size, WINDOW, STRIDE)
+    n_tiles = len(origins)
+    if n_workers is None:
+        n_workers = min(4, max(2, cpu_count()))
+
+    # warm both backends outside the timed region (first engine call
+    # pays graph tracing; first eager call pays allocator warmup)
+    scan_scene(model, scene, window=WINDOW, stride=STRIDE,
+               confidence_threshold=CONFIDENCE, batch_size=BATCH_SIZE,
+               backend="engine")
+
+    # Parity is a *per-backend* contract: the sharded scan must
+    # reproduce the sequential scan of the same backend exactly (engine
+    # and eager legitimately differ in low-order float bits, so a
+    # cross-backend comparison would only measure kernel fusion).
+    configs = [
+        {"label": "sequential-eager", "backend": "eager", "n_workers": 1},
+        {"label": "parallel-eager", "backend": "eager",
+         "n_workers": n_workers},
+        {"label": "sequential-engine", "backend": "engine", "n_workers": 1},
+        {"label": "parallel-engine", "backend": "engine",
+         "n_workers": n_workers},
+    ]
+    sequential: dict[str, object] = {}
+    rows = []
+    for cfg in configs:
+        tps, result = timed_scan(model, scene, n_tiles,
+                                 backend=cfg["backend"],
+                                 n_workers=cfg["n_workers"])
+        reference = sequential.setdefault(cfg["backend"], result)
+        rows.append({
+            "label": cfg["label"],
+            "backend": cfg["backend"],
+            "n_workers": cfg["n_workers"],
+            "tiles_per_s": tps,
+            "speedup_vs_sequential_eager": tps / rows[0]["tiles_per_s"]
+            if rows else 1.0,
+            "matches_sequential_same_backend": (
+                list(result) == list(reference)
+                and result.coverage == reference.coverage
+            ),
+            "n_detections": len(result),
+        })
+
+    # memory story: the streaming tiler's reusable batch buffer vs the
+    # (n_tiles, C, window, window) stack the old scan materialized
+    source = TileSource(scene.image, WINDOW, batch_size=BATCH_SIZE)
+    streaming_bytes = source.tile_buffer_bytes
+    materialized_bytes = n_tiles * scene.image.shape[0] * WINDOW * WINDOW * 4
+
+    return {
+        "benchmark": "scan",
+        "model": ARCH.name,
+        "scene_size": scene_size,
+        "window": WINDOW,
+        "stride": STRIDE,
+        "batch_size": BATCH_SIZE,
+        "n_tiles": n_tiles,
+        "cpu_count": cpu_count(),
+        "n_workers": n_workers,
+        "configs": rows,
+        "tile_buffer_bytes": {
+            "streaming": streaming_bytes,
+            "materialized": materialized_bytes,
+            "reduction_x": materialized_bytes / streaming_bytes,
+        },
+    }
+
+
+def check_gates(payload: dict, gate: str) -> list[str]:
+    """Return a list of failure messages (empty = all gates pass)."""
+    failures = []
+    for row in payload["configs"]:
+        if not row["matches_sequential_same_backend"]:
+            failures.append(
+                f"{row['label']} broke scan parity with the sequential "
+                f"{row['backend']} scan"
+            )
+    if payload["tile_buffer_bytes"]["streaming"] * 2 > \
+            payload["tile_buffer_bytes"]["materialized"]:
+        failures.append("streaming tile buffer is not meaningfully smaller "
+                        "than full materialization")
+    if gate == "auto":
+        gate = "speedup" if payload["cpu_count"] >= 2 else "parity"
+    if gate == "speedup":
+        par = next(r for r in payload["configs"]
+                   if r["label"] == "parallel-engine")
+        if par["speedup_vs_sequential_eager"] < SPEEDUP_GATE:
+            failures.append(
+                f"parallel-engine reached only "
+                f"{par['speedup_vs_sequential_eager']:.2f}x vs sequential "
+                f"eager (gate {SPEEDUP_GATE}x at {par['n_workers']} workers)"
+            )
+    return failures
+
+
+def test_scan_configurations_agree():
+    """Acceptance: every scan configuration reproduces the sequential
+    eager scan exactly, and the streaming tiler bounds its buffer.  The
+    >= 2x parallel speedup additionally gates when cores allow."""
+    payload = run_benchmark(scene_size=256)
+    assert check_gates(payload, "auto") == []
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scene-size", type=int, default=SCENE_SIZE)
+    parser.add_argument("--workers", type=int, default=None,
+                        help="parallel worker count (default: min(4, cores))")
+    parser.add_argument("--gate", choices=("auto", "speedup", "parity"),
+                        default="auto",
+                        help="speedup enforces the >= 2x parallel gate; "
+                        "parity checks determinism only; auto picks by "
+                        "visible core count")
+    parser.add_argument("--out", type=Path, default=Path("BENCH_scan.json"))
+    args = parser.parse_args()
+
+    payload = run_benchmark(args.scene_size, args.workers)
+    args.out.write_text(json.dumps(payload, indent=2) + "\n")
+
+    print(f"scene {payload['scene_size']}px, {payload['n_tiles']} tiles, "
+          f"{payload['cpu_count']} cpu(s)")
+    for row in payload["configs"]:
+        parity = "ok" if row["matches_sequential_same_backend"] else "MISMATCH"
+        print(f"{row['label']:<18s}: {row['tiles_per_s']:8.1f} tiles/s  "
+              f"({row['speedup_vs_sequential_eager']:4.2f}x)  parity={parity}")
+    mem = payload["tile_buffer_bytes"]
+    print(f"tile buffer       : {mem['streaming']:,} B streaming vs "
+          f"{mem['materialized']:,} B materialized "
+          f"({mem['reduction_x']:.0f}x smaller) -> {args.out}")
+
+    failures = check_gates(payload, args.gate)
+    for failure in failures:
+        print(f"FAIL: {failure}")
+    if failures:
+        raise SystemExit(1)
+
+
+if __name__ == "__main__":
+    main()

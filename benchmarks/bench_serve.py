@@ -29,6 +29,15 @@ REPO_ROOT = Path(__file__).resolve().parents[1]
 FIG6 = REPO_ROOT / "results" / "fig6.json"
 CHIP_SIZE = 24  # small chips: the regime where per-call overhead dominates
 
+# The sequential-parity gate for the worst configuration.  max_batch=1
+# with inline_single dispatches on the caller's thread, so the only cost
+# over the bare predict loop is the fixed service envelope (future,
+# metrics, breaker — tens of µs per request, a few percent in this
+# small-chip regime) plus shared-runner timer noise.  0.85 catches the
+# regression class this gate exists for (the pre-inline batcher
+# round-trip measured 0.58-0.75x) without flaking on that envelope.
+PARITY_FLOOR = 0.85
+
 ARCH = SPPNetConfig(
     convs=(ConvSpec(8, 3, 1),), pools=(PoolSpec(2, 2),),
     spp_levels=(2, 1), fc_sizes=(32,), name="serve-bench",
@@ -66,13 +75,21 @@ def service_throughput(model, chips: np.ndarray, max_batch: int,
                        backend: str = "eager") -> tuple[float, dict]:
     """Chips/second through the dynamic batcher at one max_batch setting.
 
-    The cache is disabled so every request exercises the model path —
-    this measures batching, not memoization.  Best of ``repeats`` passes.
+    The cache and admission validation are disabled so every request
+    exercises the model path and nothing else — this measures batching,
+    not memoization or input hygiene (the sequential baseline does
+    neither).  Best of ``repeats`` passes.
+
+    ``max_batch=1`` opts into ``inline_single``: batching cannot help
+    there, so the service's honest number is the inline dispatch path,
+    not the batcher round-trip it would never need.
     """
-    policy = BatchPolicy(max_batch=max_batch, max_wait_ms=2.0)
+    policy = BatchPolicy(max_batch=max_batch, max_wait_ms=2.0,
+                         inline_single=max_batch == 1)
     best = 0.0
     with InferenceService(model, policy, cache_size=0,
                           max_queue=4 * len(chips),
+                          validate=False,
                           backend=backend) as service:
         for future in service.submit_many(chips[:4]):  # warmup
             future.result()
@@ -92,14 +109,19 @@ def run_benchmark(num_chips: int = 128) -> dict:
     batches = fig6_batches()
     tuned = policy_from_fig6()
 
-    seq_cps = sequential_throughput(model, chips)
+    # One sequential pass per service config, interleaved, so clock
+    # drift on a shared runner hits both sides of each ratio equally —
+    # a baseline measured minutes before the sweep does not.
+    seq_cps = 0.0
     results = []
     for max_batch in batches:
+        seq_local = sequential_throughput(model, chips)
+        seq_cps = max(seq_cps, seq_local)
         cps, snapshot = service_throughput(model, chips, max_batch)
         results.append({
             "max_batch": max_batch,
             "throughput_chips_per_s": cps,
-            "speedup_vs_sequential": cps / seq_cps,
+            "speedup_vs_sequential": cps / seq_local,
             "mean_batch_size": snapshot["mean_batch_size"],
             "latency_ms": snapshot["latency_ms"],
         })
@@ -119,6 +141,7 @@ def run_benchmark(num_chips: int = 128) -> dict:
         })
 
     best = max(results, key=lambda r: r["throughput_chips_per_s"])
+    worst = min(results, key=lambda r: r["speedup_vs_sequential"])
     return {
         "benchmark": "serve",
         "model": ARCH.name,
@@ -130,14 +153,21 @@ def run_benchmark(num_chips: int = 128) -> dict:
         "backend_ab": backend_ab,
         "best": {"max_batch": best["max_batch"],
                  "speedup_vs_sequential": best["speedup_vs_sequential"]},
+        "worst": {"max_batch": worst["max_batch"],
+                  "speedup_vs_sequential": worst["speedup_vs_sequential"]},
     }
 
 
 def test_batched_service_beats_sequential_loop():
     """Acceptance: service throughput >= 2x the per-chip predict loop at
-    the best fig6 batch size."""
+    the best fig6 batch size — and no configuration, including
+    max_batch=1, is slower than the sequential loop."""
     payload = run_benchmark(num_chips=96)
     assert payload["best"]["speedup_vs_sequential"] >= 2.0
+    assert payload["worst"]["speedup_vs_sequential"] >= PARITY_FLOOR, (
+        f"max_batch={payload['worst']['max_batch']} regressed below the "
+        f"sequential loop ({payload['worst']['speedup_vs_sequential']:.2f}x)"
+    )
 
 
 def main() -> None:
@@ -166,6 +196,13 @@ def main() -> None:
           f"max_batch={best['max_batch']} -> {args.out}")
     if best["speedup_vs_sequential"] < 2.0:
         raise SystemExit("FAIL: batched service did not reach 2x sequential")
+    worst = payload["worst"]
+    if worst["speedup_vs_sequential"] < PARITY_FLOOR:
+        raise SystemExit(
+            f"FAIL: max_batch={worst['max_batch']} is slower than the "
+            f"sequential loop ({worst['speedup_vs_sequential']:.2f}x < "
+            f"{PARITY_FLOOR}x parity floor)"
+        )
 
 
 if __name__ == "__main__":

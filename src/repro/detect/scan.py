@@ -10,6 +10,13 @@ result against ground-truth crossing locations by center distance — the
 operational metric a hydrologist cares about (is the breach applied at
 the right cell?).
 
+Windows are never materialized all at once: tiles stream through a
+strided-view micro-batch buffer (:class:`repro.scanpar.TileSource`), so
+peak tile memory is one ``batch_size`` stack regardless of scene size.
+``n_workers > 1`` shards the scan across processes
+(:func:`repro.scanpar.parallel_scan_scene`) with a byte-identical
+determinism contract — see ``docs/scanning.md``.
+
 Production scenes are not pristine: tiles arrive with NaN pixels, nodata
 holes, dropped bands, and saturation (see :mod:`repro.robust`).  Passing
 ``sanitize=`` and/or ``journal=`` switches :func:`scan_scene` into its
@@ -33,7 +40,7 @@ from .predict import predict
 from .sppnet import SPPNetDetector
 
 if TYPE_CHECKING:
-    from ..robust.journal import ScanJournal
+    from ..robust.journal import ScanJournal, TileRecord
     from ..robust.sanitize import SanitizePolicy
     from ..serve import InferenceService
 
@@ -141,6 +148,54 @@ class ScanDetections(list):
         self.coverage = coverage
 
 
+def _detections_from_outputs(
+    origins: list[tuple[int, int]],
+    confidences: np.ndarray,
+    boxes: np.ndarray,
+    window: int,
+    confidence_threshold: float,
+) -> list[SceneDetection]:
+    """Threshold + scene-coordinate mapping of raw model outputs.
+
+    One shared implementation for the sequential and sharded scans: the
+    parallel merge feeds concatenated per-shard outputs through this
+    exact code, so thresholding and coordinate math cannot drift between
+    the two paths.
+    """
+    detections: list[SceneDetection] = []
+    for (r0, c0), conf, box in zip(origins, confidences, boxes):
+        if not conf >= confidence_threshold:  # also skips NaN confidence
+            continue
+        cx, cy, w, h = box
+        detections.append(SceneDetection(
+            row=r0 + cy * window,
+            col=c0 + cx * window,
+            height=h * window,
+            width=w * window,
+            confidence=float(conf),
+        ))
+    return detections
+
+
+def _scan_meta(scene_size: int, bands: int, window: int, stride: int,
+               confidence_threshold: float, backend: str) -> dict:
+    """Journal header describing one scan configuration.
+
+    Deliberately excludes ``n_workers`` and ``batch_size``: a journal
+    written by a parallel scan must resume under a sequential one (and
+    vice versa), so only parameters that change the *result* participate
+    in the header identity check.
+    """
+    return {
+        "scene_size": int(scene_size),
+        "bands": int(bands),
+        "window": int(window),
+        "stride": int(stride),
+        "confidence_threshold": float(confidence_threshold),
+        "backend": backend,
+    }
+
+
 def scan_scene(
     model: SPPNetDetector,
     scene: Scene,
@@ -154,6 +209,7 @@ def scan_scene(
     sanitize: "SanitizePolicy | None" = None,
     journal: "ScanJournal | str | None" = None,
     resume: bool = False,
+    n_workers: int = 1,
 ) -> ScanDetections:
     """Detect crossings across a whole scene.
 
@@ -161,6 +217,14 @@ def scan_scene(
     near the center of at least one window; the per-window box regression
     is mapped back to scene coordinates before NMS.  The confidence
     threshold defaults to 0.7 like the related-work faster-R-CNN baseline.
+
+    Tiles stream through a reused micro-batch buffer, so peak tile
+    memory is ``batch_size * bands * window**2`` floats however large
+    the scene.  ``n_workers > 1`` runs the scan sharded across worker
+    processes (:func:`repro.scanpar.parallel_scan_scene`): the scene
+    raster is shared zero-copy, each worker warms the compiled engine
+    once for its shard, and the merged result is byte-identical to this
+    sequential scan.
 
     With a ``service`` (:class:`repro.serve.InferenceService`), windows
     are submitted as individual requests instead of one local ``predict``
@@ -186,6 +250,24 @@ def scan_scene(
     :class:`ScanCoverage` (on the non-robust path it simply reports full
     coverage).
     """
+    if n_workers < 1:
+        raise ValueError("n_workers must be >= 1")
+    if n_workers > 1:
+        if service is not None:
+            raise ValueError(
+                "parallel scanning shards the local model across "
+                "processes; scan through a service with n_workers=1"
+            )
+        from ..scanpar import parallel_scan_scene
+
+        return parallel_scan_scene(
+            model, scene, window=window, stride=stride,
+            confidence_threshold=confidence_threshold,
+            nms_radius=nms_radius, batch_size=batch_size, backend=backend,
+            sanitize=sanitize, journal=journal, resume=resume,
+            n_workers=n_workers,
+        )
+
     n = scene.size
     origins = scan_origins(n, window, stride)
 
@@ -205,33 +287,105 @@ def scan_scene(
     if resume:
         raise ValueError("resume=True requires a journal")
 
-    tiles = np.stack([
-        scene.image[:, r:r + window, c:c + window] for r, c in origins
-    ]).astype(np.float32)
+    from ..scanpar.tiling import TileSource
 
+    tiles = TileSource(scene.image, window, batch_size=batch_size)
     if service is not None:
-        results = [f.result() for f in service.submit_many(tiles)]
+        # per-origin strided views: zero-copy until the service's own
+        # batcher stacks a micro-batch
+        futures = [
+            service.submit(np.asarray(tiles.tile(origin), dtype=np.float32))
+            for origin in origins
+        ]
+        results = [f.result() for f in futures]
         confidences = np.array([r.confidence for r in results])
         boxes = np.stack([r.box for r in results])
     else:
-        confidences, boxes = predict(model, tiles, batch_size=batch_size,
-                                     backend=backend)
-    detections: list[SceneDetection] = []
-    for (r0, c0), conf, box in zip(origins, confidences, boxes):
-        if not conf >= confidence_threshold:  # also skips NaN confidence
-            continue
-        cx, cy, w, h = box
-        detections.append(SceneDetection(
-            row=r0 + cy * window,
-            col=c0 + cx * window,
-            height=h * window,
-            width=w * window,
-            confidence=float(conf),
-        ))
+        conf_parts: list[np.ndarray] = []
+        box_parts: list[np.ndarray] = []
+        for _, stack in tiles.batches(origins):
+            conf, box = predict(model, stack, batch_size=len(stack),
+                                backend=backend)
+            conf_parts.append(conf)
+            box_parts.append(box)
+        confidences = np.concatenate(conf_parts)
+        boxes = np.concatenate(box_parts)
+    detections = _detections_from_outputs(
+        origins, confidences, boxes, window, confidence_threshold
+    )
     coverage = ScanCoverage(tiles_total=len(origins),
                             tiles_scanned=len(origins))
     return ScanDetections(non_max_suppression(detections, radius=nms_radius),
                           coverage)
+
+
+def _make_tile_runner(model: SPPNetDetector, backend: str):
+    """(run, guarded_or_None): per-stack model execution for the robust
+    path.  ``backend="engine"`` routes through the guarded engine→eager
+    fallback; eager resolves :func:`predict` late so fault-injection
+    monkeypatches apply inside worker processes too."""
+    if backend == "engine":
+        from ..robust.guard import GuardedEngine
+
+        guarded = GuardedEngine(model)
+
+        def run(stack: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+            conf, boxes, _ = guarded.predict_batch(stack)
+            return conf, boxes
+        return run, guarded
+
+    def run(stack: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        return predict(model, stack, batch_size=len(stack), backend=backend)
+    return run, None
+
+
+def _scan_tiles_robust(
+    run,
+    image: np.ndarray,
+    items: list[tuple[int, tuple[int, int]]],
+    *,
+    window: int,
+    policy: "SanitizePolicy",
+    confidence_threshold: float,
+    journal: "ScanJournal | None",
+) -> "list[TileRecord]":
+    """Sanitize → predict → journal for a sequence of (index, origin)
+    tiles.  The shared inner loop of the sequential robust scan and of
+    each parallel shard worker."""
+    from ..robust.journal import TileRecord
+    from ..robust.sanitize import sanitize_chip
+
+    fresh: list[TileRecord] = []
+    for index, (r0, c0) in items:
+        tile = np.asarray(
+            image[:, r0:r0 + window, c0:c0 + window], dtype=np.float32
+        )
+        result = sanitize_chip(tile, policy)
+        if result.status == "quarantined":
+            record = TileRecord(index, (r0, c0), "quarantined",
+                                reason=result.report.summary())
+        else:
+            record = _run_tile(run, result, index, (r0, c0), window,
+                               confidence_threshold)
+        fresh.append(record)
+        if journal is not None:
+            journal.append(record)
+    return fresh
+
+
+def _coverage_from_records(records, *, tiles_total: int, tiles_resumed: int,
+                           engine_fallbacks: int) -> ScanCoverage:
+    """ScanCoverage from a full set of tile records (any order)."""
+    return ScanCoverage(
+        tiles_total=tiles_total,
+        tiles_scanned=sum(1 for r in records
+                          if r.status in ("ok", "repaired")),
+        tiles_repaired=sum(1 for r in records if r.status == "repaired"),
+        tiles_quarantined=sum(1 for r in records
+                              if r.status == "quarantined"),
+        tiles_resumed=tiles_resumed,
+        engine_fallbacks=engine_fallbacks,
+    )
 
 
 def _scan_scene_robust(
@@ -250,7 +404,7 @@ def _scan_scene_robust(
 ) -> ScanDetections:
     """Per-tile sanitize → predict → journal loop behind scan_scene."""
     from ..robust.journal import ScanJournal, TileRecord
-    from ..robust.sanitize import SanitizePolicy, sanitize_chip
+    from ..robust.sanitize import SanitizePolicy
 
     image = scene.image
     if policy is None:
@@ -259,18 +413,15 @@ def _scan_scene_robust(
     jr: ScanJournal | None = None
     if journal is not None:
         jr = journal if isinstance(journal, ScanJournal) else ScanJournal(journal)
-    meta = {
-        "scene_size": int(scene.size),
-        "bands": int(image.shape[0]),
-        "window": int(window),
-        "stride": int(stride),
-        "confidence_threshold": float(confidence_threshold),
-        "backend": backend,
-    }
+    meta = _scan_meta(scene.size, image.shape[0], window, stride,
+                      confidence_threshold, backend)
     done: dict[int, TileRecord] = {}
     if jr is not None:
         if resume and jr.exists():
             jr.check_meta(meta)
+            # a crashed *parallel* scan leaves per-shard journals behind;
+            # folding them in first means no finished tile ever re-runs
+            jr.absorb_shards(meta)
             _, replayed = jr.load()
             done = {rec.index: rec for rec in replayed}
         else:
@@ -278,50 +429,21 @@ def _scan_scene_robust(
     elif resume:
         raise ValueError("resume=True requires a journal")
 
-    guarded = None
-    if backend == "engine":
-        from ..robust.guard import GuardedEngine
-
-        guarded = GuardedEngine(model)
-
-        def run(stack: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
-            conf, boxes, _ = guarded.predict_batch(stack)
-            return conf, boxes
-    else:
-        def run(stack: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
-            return predict(model, stack, batch_size=len(stack),
-                           backend=backend)
-
-    fresh: list[TileRecord] = []
-    for index, (r0, c0) in enumerate(origins):
-        if index in done:
-            continue
-        tile = np.asarray(
-            image[:, r0:r0 + window, c0:c0 + window], dtype=np.float32
-        )
-        result = sanitize_chip(tile, policy)
-        if result.status == "quarantined":
-            record = TileRecord(index, (r0, c0), "quarantined",
-                                reason=result.report.summary())
-        else:
-            record = _run_tile(run, result, index, (r0, c0), window,
-                               confidence_threshold)
-        fresh.append(record)
-        if jr is not None:
-            jr.append(record)
+    run, guarded = _make_tile_runner(model, backend)
+    items = [(index, origin) for index, origin in enumerate(origins)
+             if index not in done]
+    fresh = _scan_tiles_robust(
+        run, image, items, window=window, policy=policy,
+        confidence_threshold=confidence_threshold, journal=jr,
+    )
 
     records = sorted(list(done.values()) + fresh, key=lambda rec: rec.index)
     detections = [
         SceneDetection(row=row, col=col, height=h, width=w, confidence=conf)
         for rec in records for (row, col, h, w, conf) in rec.detections
     ]
-    scanned = sum(1 for rec in records if rec.status in ("ok", "repaired"))
-    coverage = ScanCoverage(
-        tiles_total=len(origins),
-        tiles_scanned=scanned,
-        tiles_repaired=sum(1 for r in records if r.status == "repaired"),
-        tiles_quarantined=sum(1 for r in records if r.status == "quarantined"),
-        tiles_resumed=len(done),
+    coverage = _coverage_from_records(
+        records, tiles_total=len(origins), tiles_resumed=len(done),
         engine_fallbacks=(sum(guarded.fallback_by_reason.values())
                           if guarded is not None else 0),
     )

@@ -106,6 +106,12 @@ class GuardedEngine:
         """False while the engine breaker is open (eager-only mode)."""
         return self.breaker.state != OPEN
 
+    def warmup(self, batch_sizes,
+               sample_shape: tuple[int, ...] | None = None) -> float:
+        """Pre-build the compiled engine's programs for ``batch_sizes``
+        (see :meth:`repro.engine.CompiledModel.warmup`); returns ms."""
+        return self.compiled.warmup(batch_sizes, sample_shape)
+
     def add_fallback_listener(self, callback: Callable[[str], None]) -> None:
         """Also notify ``callback`` on every fallback (the service chains
         its metrics registry onto an injected engine this way)."""

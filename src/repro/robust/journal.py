@@ -97,6 +97,63 @@ class ScanJournal:
             fh.flush()
             os.fsync(fh.fileno())
 
+    def extend(self, records: list[TileRecord]) -> None:
+        """Append many records with one open/fsync.
+
+        The bulk form of :meth:`append`, for merges: the records already
+        survived a crash once (in a shard journal), so per-record fsync
+        durability buys nothing here.
+        """
+        if not records:
+            return
+        lines = [json.dumps(rec.to_json(), allow_nan=False)
+                 for rec in records]
+        with open(self.path, "a", encoding="utf-8") as fh:
+            fh.write("\n".join(lines) + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+
+    # -- sharded scans ---------------------------------------------------
+    def shard_path(self, index: int) -> Path:
+        """Path of worker ``index``'s shard journal (zero-padded so the
+        lexical order of :meth:`shard_paths` is the shard order)."""
+        return self.path.with_name(f"{self.path.name}.shard{index:03d}")
+
+    def shard_paths(self) -> list[Path]:
+        """Existing shard journals next to this one, in shard order."""
+        return sorted(self.path.parent.glob(f"{self.path.name}.shard*"))
+
+    def absorb_shards(self, meta: dict) -> int:
+        """Merge per-shard journals into this one and delete them.
+
+        A parallel scan's workers each journal their shard separately;
+        this folds every shard record whose tile index is not already
+        here into the main journal (one durable append per shard, in
+        shard order), then unlinks the shard file.  Called after a
+        completed parallel scan — and before any resume, so tiles a
+        *crashed* parallel scan finished are never re-run.  Returns the
+        number of records absorbed.  A shard journal whose header
+        disagrees with ``meta`` raises rather than mixing scans.
+        """
+        shards = self.shard_paths()
+        if not shards:
+            return 0
+        _, existing = self.load()
+        seen = {rec.index for rec in existing}
+        absorbed = 0
+        for path in shards:
+            shard_meta, records = ScanJournal(path).load()
+            if shard_meta and shard_meta != meta:
+                raise ScanJournalError(
+                    f"{path}: shard journal belongs to a different scan"
+                )
+            fresh = [rec for rec in records if rec.index not in seen]
+            self.extend(fresh)
+            seen.update(rec.index for rec in fresh)
+            absorbed += len(fresh)
+            path.unlink()
+        return absorbed
+
     def load(self) -> tuple[dict, list[TileRecord]]:
         """(header meta, tile records in completion order).
 

@@ -1,0 +1,36 @@
+"""repro.scanpar — parallel sharded scene scanning.
+
+Watershed-scale deployment scans whole NAIP scenes; this package makes
+that scan both memory-bounded and multi-core:
+
+* :class:`TileSource` — ``sliding_window_view`` micro-batch tiling:
+  peak tile memory is one batch, not the whole scene's windows;
+* :func:`partition_origins` — contiguous, micro-batch-aligned row-band
+  shards (the alignment is what makes parallel results byte-identical);
+* :class:`SharedArray` — the scene raster in shared memory, read
+  zero-copy by every worker;
+* :func:`parallel_scan_scene` — the sharded scan itself: engine-warm
+  workers, deterministic merge, per-shard journals folded into one
+  resumable journal.
+
+See ``docs/scanning.md`` for the sharding model, the determinism
+contract, and how to pick ``n_workers``/``batch_size``.
+"""
+
+from .parallel import default_start_method, parallel_scan_scene
+from .sharding import Shard, partition_origins
+from .shm import SharedArray, attach_array
+from .tiling import TileSource
+from .worker import ShardTask, run_shard
+
+__all__ = [
+    "TileSource",
+    "Shard",
+    "partition_origins",
+    "SharedArray",
+    "attach_array",
+    "ShardTask",
+    "run_shard",
+    "parallel_scan_scene",
+    "default_start_method",
+]

@@ -1,0 +1,226 @@
+"""Process-parallel sharded scene scanning with a determinism contract.
+
+:func:`parallel_scan_scene` is the multi-core counterpart of
+:func:`repro.detect.scan_scene`:
+
+* the scene raster is placed in shared memory once
+  (:class:`~repro.scanpar.shm.SharedArray`) — workers read it zero-copy
+  through strided window views, no per-worker raster pickling;
+* scan origins are partitioned into contiguous row-band shards whose
+  boundaries snap to micro-batch multiples
+  (:func:`~repro.scanpar.sharding.partition_origins`), so every
+  worker's batches are exactly the sequential scan's batches;
+* each worker unpickles the model once, warms the compiled engine's
+  program cache for the batch shapes its shard will run, and streams
+  micro-batches through its backend;
+* shard results merge deterministically: concatenation in shard order
+  restores the sequential origin order, the shared threshold/NMS code
+  runs on the parent, and the result — detections *and* coverage — is
+  byte-identical to ``n_workers=1``.
+
+The robust path (``sanitize=``/``journal=``) keeps PR 4's guarantees:
+workers journal per-shard JSONL files that the parent absorbs into the
+single main journal (:meth:`~repro.robust.ScanJournal.absorb_shards`),
+so a scan killed mid-flight — parent or worker — resumes under either
+the parallel or the sequential scanner without re-running finished
+tiles.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import pickle
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from ..detect.scan import (
+    ScanCoverage,
+    ScanDetections,
+    SceneDetection,
+    _coverage_from_records,
+    _detections_from_outputs,
+    _scan_meta,
+    non_max_suppression,
+    scan_origins,
+    scan_scene,
+)
+from .sharding import partition_origins
+from .shm import SharedArray
+from .worker import ShardTask, run_shard
+
+if TYPE_CHECKING:
+    from ..geo.scene import Scene
+    from ..robust.journal import ScanJournal
+    from ..robust.sanitize import SanitizePolicy
+
+__all__ = ["parallel_scan_scene", "default_start_method"]
+
+
+def default_start_method() -> str:
+    """``fork`` where the platform offers it (workers inherit the loaded
+    modules — no re-import cost), else ``spawn``."""
+    return "fork" if "fork" in mp.get_all_start_methods() else "spawn"
+
+
+def parallel_scan_scene(
+    model,
+    scene: "Scene",
+    *,
+    window: int = 100,
+    stride: int = 50,
+    confidence_threshold: float = 0.7,
+    nms_radius: float = 20.0,
+    batch_size: int = 20,
+    backend: str = "eager",
+    sanitize: "SanitizePolicy | None" = None,
+    journal: "ScanJournal | str | None" = None,
+    resume: bool = False,
+    n_workers: int = 2,
+    start_method: str | None = None,
+) -> ScanDetections:
+    """Shard a scene scan across ``n_workers`` processes.
+
+    Accepts the same detection parameters as
+    :func:`repro.detect.scan_scene` and returns the same
+    :class:`~repro.detect.ScanDetections` — byte-identical to the
+    sequential scan's, by construction (see module docstring for the
+    contract).  ``n_workers=1`` simply runs the sequential scan.
+    """
+    if n_workers < 1:
+        raise ValueError("n_workers must be >= 1")
+    if n_workers == 1:
+        return scan_scene(
+            model, scene, window=window, stride=stride,
+            confidence_threshold=confidence_threshold,
+            nms_radius=nms_radius, batch_size=batch_size, backend=backend,
+            sanitize=sanitize, journal=journal, resume=resume,
+        )
+
+    origins = scan_origins(scene.size, window, stride)
+    image = np.asarray(scene.image)
+    robust = sanitize is not None or journal is not None
+    if resume and journal is None:
+        raise ValueError("resume=True requires a journal")
+
+    shards = partition_origins(len(origins), n_workers, batch_size)
+    meta = _scan_meta(scene.size, image.shape[0], window, stride,
+                      confidence_threshold, backend)
+    ctx = mp.get_context(start_method or default_start_method())
+    model_bytes = pickle.dumps(model)
+
+    if robust:
+        return _parallel_robust(
+            model_bytes, image, origins, shards, meta, ctx,
+            window=window, nms_radius=nms_radius, batch_size=batch_size,
+            backend=backend, confidence_threshold=confidence_threshold,
+            sanitize=sanitize, journal=journal, resume=resume,
+        )
+
+    with SharedArray(image) as shared:
+        tasks = [
+            ShardTask(
+                shard_index=shard.index, start=shard.start, stop=shard.stop,
+                shm=shared.spec(), model_bytes=model_bytes,
+                scene_size=scene.size, window=window, stride=stride,
+                batch_size=batch_size, backend=backend,
+                confidence_threshold=confidence_threshold,
+            )
+            for shard in shards
+        ]
+        payloads = _run_tasks(ctx, tasks)
+
+    # shard order == origin order: concatenation restores the exact
+    # sequence the sequential scan feeds to threshold + NMS
+    confidences = np.concatenate([p["confidences"] for p in payloads])
+    boxes = np.concatenate([p["boxes"] for p in payloads])
+    detections = _detections_from_outputs(
+        origins, confidences, boxes, window, confidence_threshold
+    )
+    coverage = ScanCoverage(tiles_total=len(origins),
+                            tiles_scanned=len(origins))
+    return ScanDetections(non_max_suppression(detections, radius=nms_radius),
+                          coverage)
+
+
+def _run_tasks(ctx, tasks: list[ShardTask]) -> list[dict]:
+    """Run one task per worker; results come back in shard order."""
+    with ctx.Pool(processes=len(tasks)) as pool:
+        return pool.map(run_shard, tasks)
+
+
+def _parallel_robust(
+    model_bytes: bytes,
+    image: np.ndarray,
+    origins: list[tuple[int, int]],
+    shards,
+    meta: dict,
+    ctx,
+    *,
+    window: int,
+    nms_radius: float,
+    batch_size: int,
+    backend: str,
+    confidence_threshold: float,
+    sanitize,
+    journal,
+    resume: bool,
+) -> ScanDetections:
+    """Sharded robust scan: per-shard journals merged into one."""
+    from ..robust.journal import ScanJournal, TileRecord
+    from ..robust.sanitize import SanitizePolicy
+
+    policy = sanitize if sanitize is not None \
+        else SanitizePolicy.for_scene(bands=image.shape[0])
+
+    jr: ScanJournal | None = None
+    if journal is not None:
+        jr = journal if isinstance(journal, ScanJournal) else ScanJournal(journal)
+    done: dict[int, TileRecord] = {}
+    if jr is not None:
+        if resume and jr.exists():
+            jr.check_meta(meta)
+            jr.absorb_shards(meta)
+            _, replayed = jr.load()
+            done = {rec.index: rec for rec in replayed}
+        else:
+            jr.start(meta)
+
+    skip = frozenset(done)
+    with SharedArray(image) as shared:
+        tasks = [
+            ShardTask(
+                shard_index=shard.index, start=shard.start, stop=shard.stop,
+                shm=shared.spec(), model_bytes=model_bytes,
+                scene_size=int(meta["scene_size"]), window=window,
+                stride=int(meta["stride"]), batch_size=batch_size,
+                backend=backend,
+                confidence_threshold=confidence_threshold,
+                robust=True, policy=policy,
+                journal_path=(str(jr.shard_path(shard.index))
+                              if jr is not None else None),
+                journal_meta=meta, skip=skip,
+            )
+            for shard in shards
+        ]
+        payloads = _run_tasks(ctx, tasks)
+
+    fresh = [rec for payload in payloads for rec in payload["records"]]
+    if jr is not None:
+        # the merge: fold every shard journal into the single resumable
+        # main journal, then drop the shard files
+        jr.absorb_shards(meta)
+
+    records = sorted(list(done.values()) + fresh, key=lambda rec: rec.index)
+    detections = [
+        SceneDetection(row=row, col=col, height=h, width=w, confidence=conf)
+        for rec in records for (row, col, h, w, conf) in rec.detections
+    ]
+    coverage = _coverage_from_records(
+        records, tiles_total=len(origins), tiles_resumed=len(done),
+        engine_fallbacks=sum(
+            sum(payload["fallbacks"].values()) for payload in payloads
+        ),
+    )
+    return ScanDetections(non_max_suppression(detections, radius=nms_radius),
+                          coverage)

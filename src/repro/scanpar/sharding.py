@@ -1,0 +1,68 @@
+"""Deterministic partitioning of scan origins into worker shards.
+
+``scan_origins`` enumerates windows row-major, so a contiguous slice of
+the origin list is a contiguous *row band* of the scene (boundary rows
+may split mid-row at a column, never mid-window).  Shards are therefore
+described by ``[start, stop)`` index ranges into the origin list — cheap
+to ship to a worker (two ints), and concatenating shard results in shard
+order reproduces the sequential origin order exactly.
+
+Shard boundaries additionally snap to multiples of the scan's
+``batch_size``.  This is the determinism linchpin: the sequential scan
+feeds the model batches ``[0:B], [B:2B], ...`` of the origin list, and
+batch-aligned shards make every parallel worker's micro-batches a subset
+of those *same* batches.  Identical batch composition means identical
+GEMM shapes and accumulation order, which is what makes the parallel
+scan byte-identical to the sequential one rather than merely close.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Shard", "partition_origins"]
+
+
+@dataclass(frozen=True)
+class Shard:
+    """One worker's contiguous slice of the origin list."""
+
+    index: int   # shard number, 0-based
+    start: int   # first origin index (inclusive)
+    stop: int    # last origin index (exclusive)
+
+    @property
+    def size(self) -> int:
+        return self.stop - self.start
+
+
+def partition_origins(n_origins: int, n_workers: int,
+                      batch_size: int) -> list[Shard]:
+    """Split ``n_origins`` into at most ``n_workers`` contiguous shards
+    whose boundaries fall on ``batch_size`` multiples.
+
+    Work is balanced at micro-batch granularity: each shard receives
+    ``floor(n_batches / n_shards)`` batches, with the remainder spread
+    over the leading shards.  When there are fewer batches than workers,
+    fewer shards come back — a worker with zero tiles is never spawned.
+    """
+    if n_origins < 0:
+        raise ValueError("n_origins must be >= 0")
+    if n_workers < 1:
+        raise ValueError("n_workers must be >= 1")
+    if batch_size < 1:
+        raise ValueError("batch_size must be >= 1")
+    if n_origins == 0:
+        return []
+    n_batches = -(-n_origins // batch_size)  # ceil
+    n_shards = min(n_workers, n_batches)
+    per, extra = divmod(n_batches, n_shards)
+    shards: list[Shard] = []
+    batch_start = 0
+    for k in range(n_shards):
+        n = per + (1 if k < extra else 0)
+        start = batch_start * batch_size
+        stop = min((batch_start + n) * batch_size, n_origins)
+        shards.append(Shard(index=k, start=start, stop=stop))
+        batch_start += n
+    return shards

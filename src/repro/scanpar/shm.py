@@ -1,0 +1,93 @@
+"""Scene rasters in POSIX shared memory for zero-copy worker reads.
+
+The parent copies the scene raster into one
+:class:`multiprocessing.shared_memory.SharedMemory` block (a single
+copy, taken once); each worker attaches by name and builds its strided
+window view directly over the shared buffer.  No per-worker raster
+copy, no pickled image in the task payload — a worker's task is a few
+ints plus the block name.
+
+Lifecycle: the parent owns the block (create → close → unlink, via the
+context manager); workers attach read-only-by-convention and close on
+exit.  CPython < 3.13 registers an attach with the ``resource_tracker``
+exactly as if the attacher owned the block, but multiprocessing workers
+— fork *and* spawn alike on POSIX — inherit the parent's tracker
+process, whose per-type cache is a set: the attach-registration
+deduplicates against the parent's own, and the parent's single
+``unlink()`` unregisters it exactly once.  Workers therefore must not
+``resource_tracker.unregister`` on attach; doing so erases the parent's
+registration and the later unlink crashes the shared tracker with a
+``KeyError``.
+"""
+
+from __future__ import annotations
+
+from multiprocessing import shared_memory
+
+import numpy as np
+
+__all__ = ["SharedArray", "attach_array"]
+
+
+class SharedArray:
+    """A parent-owned shared-memory copy of one ndarray."""
+
+    def __init__(self, array: np.ndarray) -> None:
+        array = np.ascontiguousarray(array)
+        self.shape = array.shape
+        self.dtype = np.dtype(array.dtype)
+        self._shm = shared_memory.SharedMemory(create=True,
+                                               size=max(array.nbytes, 1))
+        self.name = self._shm.name
+        view = np.ndarray(self.shape, dtype=self.dtype, buffer=self._shm.buf)
+        np.copyto(view, array)
+
+    def spec(self) -> dict:
+        """Picklable description a worker needs to attach."""
+        return {"name": self.name, "shape": tuple(self.shape),
+                "dtype": self.dtype.str}
+
+    def array(self) -> np.ndarray:
+        """The parent's own view into the block."""
+        return np.ndarray(self.shape, dtype=self.dtype, buffer=self._shm.buf)
+
+    def close(self) -> None:
+        self._shm.close()
+
+    def unlink(self) -> None:
+        try:
+            self._shm.unlink()
+        except FileNotFoundError:  # already unlinked (idempotent cleanup)
+            pass
+
+    def __enter__(self) -> "SharedArray":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+        self.unlink()
+
+
+class _AttachedArray:
+    """Worker-side attachment: ndarray view + the handle keeping it alive."""
+
+    def __init__(self, spec: dict) -> None:
+        self._shm = shared_memory.SharedMemory(name=spec["name"])
+        self.array = np.ndarray(tuple(spec["shape"]),
+                                dtype=np.dtype(spec["dtype"]),
+                                buffer=self._shm.buf)
+
+    def close(self) -> None:
+        self.array = None
+        self._shm.close()
+
+    def __enter__(self) -> "_AttachedArray":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def attach_array(spec: dict) -> _AttachedArray:
+    """Attach to a :class:`SharedArray` created in another process."""
+    return _AttachedArray(spec)

@@ -1,0 +1,125 @@
+"""Worker-process entry point for sharded scene scanning.
+
+Each worker receives one :class:`ShardTask` — a few ints, the shared
+raster's name, and the pickled model — attaches to the scene in shared
+memory, warms the compiled engine's program cache *once* for the batch
+shapes its shard will actually run, and streams its contiguous origin
+range through the backend.  Non-robust shards return raw
+(confidences, boxes) arrays for the parent to merge; robust shards run
+the per-tile sanitize/quarantine loop from :mod:`repro.detect.scan` and
+journal into a per-shard JSONL file the parent later absorbs.
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .shm import attach_array
+from .tiling import TileSource
+
+__all__ = ["ShardTask", "run_shard"]
+
+
+@dataclass(frozen=True)
+class ShardTask:
+    """Everything one worker needs, picklable and raster-free."""
+
+    shard_index: int
+    start: int                    # origin-list index range [start, stop)
+    stop: int
+    shm: dict                     # SharedArray.spec() of the scene raster
+    model_bytes: bytes            # pickled detector (weights snapshot)
+    scene_size: int
+    window: int
+    stride: int
+    batch_size: int
+    backend: str
+    confidence_threshold: float
+    robust: bool = False
+    policy: object | None = None          # SanitizePolicy (robust only)
+    journal_path: str | None = None       # shard journal (robust only)
+    journal_meta: dict | None = None
+    skip: frozenset = field(default_factory=frozenset)  # resumed indices
+
+
+def _warm_engine(model, channels: int, window: int,
+                 batch_sizes: list[int]) -> float:
+    """Pre-build the engine programs this shard will execute; returns
+    the warmup milliseconds (compile paid once, not per batch)."""
+    from ..engine import compiled_for
+
+    model.eval()
+    compiled = compiled_for(model)
+    return compiled.warmup(batch_sizes, (channels, window, window))
+
+
+def run_shard(task: ShardTask) -> dict:
+    """Scan one shard; returns a picklable result payload."""
+    from ..detect.scan import (
+        _make_tile_runner,
+        _scan_tiles_robust,
+        scan_origins,
+    )
+
+    model = pickle.loads(task.model_bytes)
+    origins = scan_origins(task.scene_size, task.window, task.stride)
+    span = origins[task.start:task.stop]
+    with attach_array(task.shm) as shared:
+        image = shared.array
+        channels = image.shape[0]
+
+        if task.robust:
+            # per-tile isolation: every batch is one tile, warm that shape
+            warmup_ms = 0.0
+            if task.backend == "engine":
+                warmup_ms = _warm_engine(model, channels, task.window, [1])
+            run, guarded = _make_tile_runner(model, task.backend)
+            journal = None
+            if task.journal_path is not None:
+                from ..robust.journal import ScanJournal
+
+                journal = ScanJournal(task.journal_path)
+                journal.start(task.journal_meta)
+            items = [(index, origins[index])
+                     for index in range(task.start, task.stop)
+                     if index not in task.skip]
+            records = _scan_tiles_robust(
+                run, image, items, window=task.window, policy=task.policy,
+                confidence_threshold=task.confidence_threshold,
+                journal=journal,
+            )
+            return {
+                "shard": task.shard_index,
+                "records": records,
+                "fallbacks": (dict(guarded.fallback_by_reason)
+                              if guarded is not None else {}),
+                "warmup_ms": warmup_ms,
+            }
+
+        warmup_ms = 0.0
+        if task.backend == "engine":
+            sizes = {min(task.batch_size, len(span))}
+            ragged = len(span) % task.batch_size
+            if ragged:
+                sizes.add(ragged)
+            warmup_ms = _warm_engine(model, channels, task.window,
+                                     sorted(sizes))
+        from ..detect.predict import predict
+
+        source = TileSource(image, task.window, batch_size=task.batch_size)
+        conf_parts: list[np.ndarray] = []
+        box_parts: list[np.ndarray] = []
+        for _, stack in source.batches(span):
+            conf, box = predict(model, stack, batch_size=len(stack),
+                                backend=task.backend)
+            conf_parts.append(conf)
+            box_parts.append(box)
+        return {
+            "shard": task.shard_index,
+            "confidences": np.concatenate(conf_parts),
+            "boxes": np.concatenate(box_parts),
+            "warmup_ms": warmup_ms,
+        }

@@ -25,20 +25,31 @@ _FIG6_PATH = Path(__file__).resolve().parents[3] / "results" / "fig6.json"
 class BatchPolicy:
     """Knobs of the dynamic batcher.
 
-    max_batch    : dispatch as soon as this many requests are waiting
-    max_wait_ms  : dispatch a partial batch once the oldest waiting
-                   request has aged this long (latency ceiling under
-                   light traffic)
+    max_batch     : dispatch as soon as this many requests are waiting
+    max_wait_ms   : dispatch a partial batch once the oldest waiting
+                    request has aged this long (latency ceiling under
+                    light traffic)
+    inline_single : only meaningful at ``max_batch=1``, where batching
+                    cannot coalesce anything and the queue → batcher →
+                    pool round-trip is pure overhead.  When True, an
+                    idle service runs the request synchronously on the
+                    caller's thread (the returned future is already
+                    resolved); ``submit`` may then block for one model
+                    call, so leave this off when callers rely on
+                    non-blocking submission.
     """
 
     max_batch: int = 16
     max_wait_ms: float = 2.0
+    inline_single: bool = False
 
     def __post_init__(self) -> None:
         if self.max_batch < 1:
             raise ValueError("max_batch must be >= 1")
         if self.max_wait_ms < 0:
             raise ValueError("max_wait_ms must be >= 0")
+        if self.inline_single and self.max_batch != 1:
+            raise ValueError("inline_single requires max_batch=1")
 
     @property
     def max_wait_s(self) -> float:

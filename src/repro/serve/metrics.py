@@ -119,7 +119,10 @@ class ServiceMetrics:
         self.degraded_served = Counter()
         self.degraded_rejected = Counter()
         self.invalid_inputs = Counter()
+        self.scans = Counter()
+        self.scan_tiles = Counter()
         self.queue_depth = Gauge()
+        self.warmup_ms = Gauge()
         self.latency_ms = Histogram()
         self.batch_latency_ms = Histogram()
         self._batch_sizes: TallyCounter[int] = TallyCounter()
@@ -212,6 +215,9 @@ class ServiceMetrics:
             "degraded_served": self.degraded_served.value,
             "degraded_rejected": self.degraded_rejected.value,
             "invalid_inputs": self.invalid_inputs.value,
+            "scans": self.scans.value,
+            "scan_tiles": self.scan_tiles.value,
+            "warmup_ms": self.warmup_ms.value,
             "fallback_by_reason": self.fallback_by_reason,
             "breaker_state": self.breaker_state,
             "breaker_transitions": self.breaker_transitions,

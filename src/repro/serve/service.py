@@ -231,6 +231,18 @@ class InferenceService:
                 lambda _model, stack, batch_size:
                 engine.predict_batch(stack, batch_size=batch_size)
             )
+            # pre-build the programs the batcher will actually dispatch
+            # (single stragglers and full micro-batches) so the first
+            # request never pays compile/bind latency inline
+            try:
+                warmup_ms = engine.warmup(
+                    sorted({1, self.policy.max_batch})
+                )
+            except Exception:
+                # a broken engine surfaces through the guarded per-batch
+                # fallback, not as a startup crash
+                warmup_ms = 0.0
+            self.metrics.warmup_ms.set(warmup_ms)
         else:
             self.backend = "eager"
             self._predict_fn = predict
@@ -319,6 +331,20 @@ class InferenceService:
 
         deadline = time.monotonic() + timeout_s if timeout_s is not None else None
         pending = _Pending(np.asarray(chip, dtype=np.float32), key, deadline)
+        if self.policy.inline_single:
+            # max_batch=1 with the low-latency opt-in: when nothing is
+            # queued and a worker slot is free, run the request
+            # synchronously on the caller's thread instead of paying the
+            # queue → batcher → pool round-trip (see BatchPolicy)
+            with self._cond:
+                stopping = self._stopping
+                idle = not self._queue
+            if stopping:
+                self.metrics.rejected.inc()
+                raise ServiceStoppedError("service is shut down")
+            if idle and self._inflight.acquire(blocking=False):
+                self._run_batch([pending])  # releases the inflight slot
+                return pending.future
         with self._cond:
             if self._stopping:
                 self.metrics.rejected.inc()
@@ -340,6 +366,37 @@ class InferenceService:
                     timeout_s: float | None = None) -> list[Future[DetectionResult]]:
         """Submit a stack of chips; returns one future per chip."""
         return [self.submit(chip, timeout_s=timeout_s) for chip in chips]
+
+    def scan_scene(self, scene, *, n_workers: int = 1, **scan_kwargs):
+        """Scan a whole scene with this service's model.
+
+        ``n_workers=1`` routes every window through the request path
+        (:func:`repro.detect.scan_scene` with ``service=self``) — the
+        scan shares the batcher, cache, and breaker with live traffic.
+        ``n_workers > 1`` takes the *bulk* path instead: the sharded
+        parallel scanner (:func:`repro.scanpar.parallel_scan_scene`)
+        runs the service's model on its configured backend across
+        worker processes, bypassing the request queue — whole-scene
+        throughput without holding the queue hostage for thousands of
+        tiles.  Both paths tally ``metrics.scans`` / ``metrics
+        .scan_tiles``.
+        """
+        from ..detect.scan import scan_scene as scan
+
+        if n_workers > 1 and self.backend == "custom":
+            raise ValueError(
+                "bulk parallel scanning runs the model directly and "
+                "needs backend='eager' or 'engine', not an injected "
+                "predict_fn"
+            )
+        if n_workers > 1:
+            result = scan(self.model, scene, backend=self.backend,
+                          n_workers=n_workers, **scan_kwargs)
+        else:
+            result = scan(self.model, scene, service=self, **scan_kwargs)
+        self.metrics.scans.inc()
+        self.metrics.scan_tiles.inc(result.coverage.tiles_total)
+        return result
 
     def shutdown(self, drain: bool = True, timeout_s: float | None = None) -> None:
         """Stop the service.
@@ -508,7 +565,10 @@ class InferenceService:
                 # tripped while these requests were queued: cache-only
                 self._serve_degraded(batch)
                 return
-            stack = np.stack([p.chip for p in batch])
+            # single-request batches (stragglers, inline_single) skip the
+            # stack copy — chip[None] is a view with the same layout
+            stack = (batch[0].chip[None] if len(batch) == 1
+                     else np.stack([p.chip for p in batch]))
             attempts = 0
             used_backend = self.backend
             while True:

@@ -1,0 +1,63 @@
+"""Engine program-cache warmup."""
+
+import numpy as np
+import pytest
+
+from repro.arch import ConvSpec, PoolSpec, SPPNetConfig
+from repro.detect import SPPNetDetector
+from repro.engine import compiled_for
+
+
+@pytest.fixture(scope="module")
+def compiled():
+    arch = SPPNetConfig(
+        convs=(ConvSpec(8, 3, 1),), pools=(PoolSpec(2, 2),),
+        spp_levels=(2, 1), fc_sizes=(32,), name="warmup-test",
+    )
+    model = SPPNetDetector(arch, seed=0)
+    model.eval()
+    return compiled_for(model)
+
+
+class TestWarmup:
+    def test_builds_requested_programs(self, compiled):
+        elapsed = compiled.warmup([1, 4])
+        assert elapsed >= 0.0
+        keys = set(compiled._programs)
+        assert (1,) + compiled.input_shape in keys
+        assert (4,) + compiled.input_shape in keys
+
+    def test_warm_batch_runs_without_recompiling(self, compiled):
+        compiled.warmup([3])
+        before = dict(compiled._programs)
+        rng = np.random.default_rng(0)
+        stack = rng.normal(size=(3,) + compiled.input_shape).astype(np.float32)
+        compiled.predict(stack, batch_size=3)
+        assert set(compiled._programs) == set(before)
+
+    def test_idempotent(self, compiled):
+        compiled.warmup([2])
+        n_programs = len(compiled._programs)
+        compiled.warmup([2])
+        assert len(compiled._programs) == n_programs
+
+    def test_custom_sample_shape(self, compiled):
+        shape = (compiled.input_shape[0], 40, 40)
+        compiled.warmup([2], sample_shape=shape)
+        assert (2,) + shape in compiled._programs
+
+    def test_rejects_nonpositive_batch(self, compiled):
+        with pytest.raises(ValueError, match="batch"):
+            compiled.warmup([0])
+
+    def test_guarded_engine_delegates(self):
+        from repro.robust import GuardedEngine
+
+        arch = SPPNetConfig(
+            convs=(ConvSpec(8, 3, 1),), pools=(PoolSpec(2, 2),),
+            spp_levels=(2, 1), fc_sizes=(32,), name="warmup-guard-test",
+        )
+        model = SPPNetDetector(arch, seed=0)
+        guarded = GuardedEngine(model)
+        assert guarded.warmup([1, 2]) >= 0.0
+        assert (1,) + guarded.compiled.input_shape in guarded.compiled._programs

@@ -1,0 +1,62 @@
+"""Batch-aligned origin sharding: the parallel scan's determinism linchpin."""
+
+import pytest
+
+from repro.scanpar import partition_origins
+
+
+class TestValidation:
+    def test_negative_origins_rejected(self):
+        with pytest.raises(ValueError, match="n_origins"):
+            partition_origins(-1, 2, 10)
+
+    def test_zero_workers_rejected(self):
+        with pytest.raises(ValueError, match="n_workers"):
+            partition_origins(10, 0, 10)
+
+    def test_zero_batch_rejected(self):
+        with pytest.raises(ValueError, match="batch_size"):
+            partition_origins(10, 2, 0)
+
+    def test_zero_origins_is_no_shards(self):
+        assert partition_origins(0, 4, 10) == []
+
+
+class TestContract:
+    @pytest.mark.parametrize("n_origins,n_workers,batch_size", [
+        (100, 4, 20), (99, 4, 20), (101, 4, 20), (1, 8, 20),
+        (200, 3, 7), (45, 2, 45), (46, 2, 45), (1000, 16, 1),
+    ])
+    def test_shards_cover_origins_exactly_once(self, n_origins, n_workers,
+                                               batch_size):
+        shards = partition_origins(n_origins, n_workers, batch_size)
+        assert shards[0].start == 0
+        assert shards[-1].stop == n_origins
+        for prev, nxt in zip(shards, shards[1:]):
+            assert prev.stop == nxt.start
+        assert [s.index for s in shards] == list(range(len(shards)))
+
+    @pytest.mark.parametrize("n_origins,n_workers,batch_size", [
+        (100, 4, 20), (99, 3, 20), (200, 3, 7), (1000, 16, 13),
+    ])
+    def test_boundaries_snap_to_batch_multiples(self, n_origins, n_workers,
+                                                batch_size):
+        # every boundary except the final ragged end is a batch multiple,
+        # so each worker's micro-batches are exactly the sequential ones
+        shards = partition_origins(n_origins, n_workers, batch_size)
+        for shard in shards[:-1]:
+            assert shard.stop % batch_size == 0
+
+    def test_never_more_shards_than_batches(self):
+        # 25 origins at batch 20 = 2 batches; 8 workers -> only 2 shards
+        shards = partition_origins(25, 8, 20)
+        assert len(shards) == 2
+        assert [s.size for s in shards] == [20, 5]
+
+    def test_balanced_at_batch_granularity(self):
+        shards = partition_origins(200, 4, 10)  # 20 batches over 4 shards
+        assert [s.size for s in shards] == [50, 50, 50, 50]
+
+    def test_remainder_batches_lead(self):
+        shards = partition_origins(100, 3, 10)  # 10 batches -> 4/3/3
+        assert [s.size for s in shards] == [40, 30, 30]

@@ -1,0 +1,52 @@
+"""Shared-memory scene raster lifecycle."""
+
+import numpy as np
+
+from repro.scanpar import SharedArray, attach_array
+
+
+def raster():
+    rng = np.random.default_rng(3)
+    return rng.normal(size=(4, 32, 32)).astype(np.float32)
+
+
+class TestSharedArray:
+    def test_roundtrip_through_spec(self):
+        image = raster()
+        with SharedArray(image) as shared:
+            attached = attach_array(shared.spec())
+            try:
+                np.testing.assert_array_equal(attached.array, image)
+                assert attached.array.dtype == image.dtype
+            finally:
+                attached.close()
+
+    def test_parent_view_sees_block(self):
+        image = raster()
+        with SharedArray(image) as shared:
+            np.testing.assert_array_equal(shared.array(), image)
+
+    def test_spec_is_picklable_primitives(self):
+        with SharedArray(raster()) as shared:
+            spec = shared.spec()
+            assert set(spec) == {"name", "shape", "dtype"}
+            assert isinstance(spec["name"], str)
+            assert all(isinstance(d, int) for d in spec["shape"])
+            assert isinstance(spec["dtype"], str)
+
+    def test_unlink_is_idempotent(self):
+        shared = SharedArray(raster())
+        shared.close()
+        shared.unlink()
+        shared.unlink()  # already gone: must not raise
+
+    def test_attach_does_not_copy(self):
+        image = raster()
+        with SharedArray(image) as shared:
+            attached = attach_array(shared.spec())
+            try:
+                # writes through one mapping are visible in the other
+                attached.array[0, 0, 0] = 42.0
+                assert shared.array()[0, 0, 0] == 42.0
+            finally:
+                attached.close()

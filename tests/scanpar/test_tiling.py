@@ -1,0 +1,92 @@
+"""Zero-copy strided tiling: TileSource vs naive per-origin slicing."""
+
+import numpy as np
+import pytest
+
+from repro.scanpar import TileSource
+
+
+def raster(c=3, h=40, w=48, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.normal(size=(c, h, w)).astype(np.float32)
+
+
+def naive_stack(image, origins, window):
+    return np.stack([image[:, r:r + window, c:c + window]
+                     for r, c in origins]).astype(np.float32)
+
+
+class TestValidation:
+    def test_rejects_non_chw_raster(self):
+        with pytest.raises(ValueError, match="C, H, W"):
+            TileSource(np.zeros((8, 8), dtype=np.float32), window=4)
+
+    def test_rejects_oversized_window(self):
+        with pytest.raises(ValueError, match="does not fit"):
+            TileSource(raster(h=16, w=16), window=17)
+
+    def test_rejects_nonpositive_batch(self):
+        with pytest.raises(ValueError, match="batch_size"):
+            TileSource(raster(), window=8, batch_size=0)
+
+
+class TestTile:
+    def test_tile_is_a_view_of_the_raster(self):
+        image = raster()
+        source = TileSource(image, window=8)
+        tile = source.tile((3, 5))
+        assert tile.base is image or tile.base is image.base
+        assert np.shares_memory(tile, image)
+
+    def test_tile_matches_direct_slice(self):
+        image = raster()
+        source = TileSource(image, window=8)
+        np.testing.assert_array_equal(source.tile((2, 7)),
+                                      image[:, 2:10, 7:15])
+
+
+class TestGather:
+    def test_matches_naive_stack(self):
+        image = raster()
+        origins = [(0, 0), (5, 3), (32, 40), (17, 17)]
+        source = TileSource(image, window=8, batch_size=8)
+        np.testing.assert_array_equal(source.gather(origins),
+                                      naive_stack(image, origins, 8))
+
+    def test_reuses_one_buffer(self):
+        source = TileSource(raster(), window=8, batch_size=4)
+        first = source.gather([(0, 0), (1, 1)])
+        second = source.gather([(2, 2), (3, 3)])
+        assert np.shares_memory(first, second)
+
+    def test_rejects_more_origins_than_batch(self):
+        source = TileSource(raster(), window=8, batch_size=2)
+        with pytest.raises(ValueError, match="exceed batch_size"):
+            source.gather([(0, 0), (1, 1), (2, 2)])
+
+    def test_buffer_is_bounded_by_batch_size(self):
+        image = raster(c=4, h=64, w=64)
+        source = TileSource(image, window=16, batch_size=5)
+        assert source.tile_buffer_bytes == 5 * 4 * 16 * 16 * 4
+        # independent of how many windows the raster actually contains
+        assert source.tile_buffer_bytes < image.nbytes
+
+
+class TestBatches:
+    def test_covers_origins_in_order(self):
+        image = raster()
+        origins = [(r, c) for r in (0, 8, 16) for c in (0, 8, 16)]
+        source = TileSource(image, window=8, batch_size=4)
+        seen_starts = []
+        chunks = []
+        for start, stack in source.batches(origins):
+            seen_starts.append(start)
+            chunks.append(stack.copy())  # buffer is reused: snapshot it
+        assert seen_starts == [0, 4, 8]
+        assert [len(chunk) for chunk in chunks] == [4, 4, 1]
+        np.testing.assert_array_equal(np.concatenate(chunks),
+                                      naive_stack(image, origins, 8))
+
+    def test_empty_origins_yield_nothing(self):
+        source = TileSource(raster(), window=8)
+        assert list(source.batches([])) == []

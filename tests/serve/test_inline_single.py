@@ -1,0 +1,104 @@
+"""max_batch=1 inline dispatch and service warmup telemetry."""
+
+import numpy as np
+import pytest
+
+from repro.arch import ConvSpec, PoolSpec, SPPNetConfig
+from repro.detect import SPPNetDetector, predict
+from repro.serve import BatchPolicy, InferenceService
+
+ARCH = SPPNetConfig(
+    convs=(ConvSpec(8, 3, 1),), pools=(PoolSpec(2, 2),),
+    spp_levels=(2, 1), fc_sizes=(32,), name="inline-test",
+)
+
+
+@pytest.fixture(scope="module")
+def model():
+    return SPPNetDetector(ARCH, seed=0)
+
+
+def chips(n, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.normal(size=(n, 4, 24, 24)).astype(np.float32)
+
+
+class TestPolicy:
+    def test_inline_single_requires_max_batch_one(self):
+        with pytest.raises(ValueError, match="inline_single"):
+            BatchPolicy(max_batch=2, inline_single=True)
+
+    def test_default_is_off(self):
+        assert BatchPolicy(max_batch=1).inline_single is False
+
+
+class TestInlineDispatch:
+    def test_future_resolves_synchronously(self, model):
+        policy = BatchPolicy(max_batch=1, inline_single=True)
+        with InferenceService(model, policy, cache_size=0,
+                              validate=False) as service:
+            future = service.submit(chips(1)[0])
+            # inline dispatch completed the work on this thread already
+            assert future.done()
+            assert future.result(timeout=0).batch_size == 1
+
+    def test_results_match_predict(self, model):
+        batch = chips(8, seed=3)
+        conf_ref, boxes_ref = predict(model, batch, batch_size=1)
+        policy = BatchPolicy(max_batch=1, inline_single=True)
+        with InferenceService(model, policy, cache_size=0,
+                              validate=False) as service:
+            results = [f.result(timeout=5)
+                       for f in service.submit_many(batch)]
+        np.testing.assert_allclose([r.confidence for r in results], conf_ref,
+                                   rtol=1e-6)
+        np.testing.assert_allclose(np.stack([r.box for r in results]),
+                                   boxes_ref, rtol=1e-6)
+
+    def test_counts_in_metrics(self, model):
+        policy = BatchPolicy(max_batch=1, inline_single=True)
+        with InferenceService(model, policy, cache_size=0,
+                              validate=False) as service:
+            for future in service.submit_many(chips(5)):
+                future.result(timeout=5)
+            snap = service.metrics.snapshot()
+        assert snap["completed"] == 5
+        assert snap["batch_size_histogram"] == {"1": 5}
+
+    def test_rejected_after_shutdown(self, model):
+        policy = BatchPolicy(max_batch=1, inline_single=True)
+        service = InferenceService(model, policy, cache_size=0,
+                                   validate=False)
+        service.shutdown()
+        from repro.serve import ServiceStoppedError
+
+        with pytest.raises(ServiceStoppedError):
+            service.submit(chips(1)[0])
+
+    def test_queued_path_still_used_when_busy(self, model):
+        # occupying the only worker slot forces the fall-through to the
+        # batcher queue; the request must still complete
+        policy = BatchPolicy(max_batch=1, max_wait_ms=0.0,
+                             inline_single=True)
+        with InferenceService(model, policy, cache_size=0, num_workers=1,
+                              validate=False) as service:
+            acquired = service._inflight.acquire(blocking=False)
+            assert acquired
+            try:
+                future = service.submit(chips(1)[0])
+                assert not future.done()
+            finally:
+                service._inflight.release()
+            assert future.result(timeout=5).batch_size == 1
+
+
+class TestWarmupMetric:
+    def test_engine_service_records_warmup(self, model):
+        with InferenceService(model, BatchPolicy(max_batch=4),
+                              backend="engine") as service:
+            warmup_ms = service.metrics.snapshot()["warmup_ms"]
+        assert warmup_ms > 0.0
+
+    def test_eager_service_has_no_warmup(self, model):
+        with InferenceService(model, BatchPolicy(max_batch=4)) as service:
+            assert service.metrics.snapshot()["warmup_ms"] == 0.0

@@ -1,0 +1,62 @@
+"""InferenceService.scan_scene: request-path and bulk-parallel scans."""
+
+import numpy as np
+import pytest
+
+from repro.arch import ConvSpec, PoolSpec, SPPNetConfig
+from repro.detect import SPPNetDetector, scan_scene
+from repro.geo import WatershedConfig, build_scene
+from repro.serve import BatchPolicy, InferenceService
+
+ARCH = SPPNetConfig(
+    convs=(ConvSpec(8, 3, 1),), pools=(PoolSpec(2, 2),),
+    spp_levels=(2, 1), fc_sizes=(32,), name="scan-method-test",
+)
+KWARGS = dict(window=64, stride=64, confidence_threshold=0.3)
+
+
+@pytest.fixture(scope="module")
+def model():
+    detector = SPPNetDetector(ARCH, seed=0)
+    detector.eval()
+    return detector
+
+
+@pytest.fixture(scope="module")
+def scene():
+    return build_scene(WatershedConfig(size=192, road_spacing=64,
+                                       stream_threshold=600, seed=5))
+
+
+class TestScanMethod:
+    def test_request_path_matches_local_scan(self, model, scene):
+        local = scan_scene(model, scene, **KWARGS)
+        with InferenceService(model, BatchPolicy(max_batch=8),
+                              cache_size=0) as service:
+            served = service.scan_scene(scene, **KWARGS)
+            snap = service.metrics.snapshot()
+        assert list(served) == list(local)
+        assert snap["scans"] == 1
+        assert snap["scan_tiles"] == served.coverage.tiles_total
+
+    def test_bulk_path_matches_local_scan(self, model, scene):
+        local = scan_scene(model, scene, **KWARGS)
+        with InferenceService(model, BatchPolicy(max_batch=8),
+                              cache_size=0) as service:
+            served = service.scan_scene(scene, n_workers=2, **KWARGS)
+            snap = service.metrics.snapshot()
+        assert list(served) == list(local)
+        assert served.coverage == local.coverage
+        assert snap["scans"] == 1
+        assert snap["scan_tiles"] == served.coverage.tiles_total
+
+    def test_bulk_path_rejects_custom_backend(self, model, scene):
+        def fake_predict(model, stack, batch_size):
+            n = len(stack)
+            return (np.zeros(n, dtype=np.float32),
+                    np.zeros((n, 4), dtype=np.float32))
+
+        with InferenceService(model, BatchPolicy(max_batch=8),
+                              predict_fn=fake_predict) as service:
+            with pytest.raises(ValueError, match="bulk parallel"):
+                service.scan_scene(scene, n_workers=2, **KWARGS)
