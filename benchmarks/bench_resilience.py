@@ -20,12 +20,11 @@ Usage::
 Also collectable by pytest (``pytest benchmarks/bench_resilience.py``).
 """
 
-import argparse
-import json
 import time
-from pathlib import Path
 
 import numpy as np
+
+from gates import bench_arg_parser, check, finish
 
 from repro.arch import ConvSpec, PoolSpec, SPPNetConfig
 from repro.detect import SPPNetDetector, predict
@@ -132,6 +131,26 @@ def run_benchmark(max_trials: int = 16, rate: float = 0.2) -> dict:
     }
 
 
+def payload_checks(payload: dict) -> list:
+    nas = payload["nas"]
+    serve = payload["serve"]
+    metrics = serve["metrics"]
+    return [
+        check("nas_faults_injected", nas["injected_faults"], ">=", 1,
+              track=False),
+        check("nas_completed_trials", nas["completed_trials"],
+              ">=", nas["max_trials"]),
+        check("nas_winner_matches_fault_free",
+              nas["winner_matches_fault_free"], "bool"),
+        check("serve_degraded_cache_hit_served",
+              serve["degraded_cache_hit_served"], "bool"),
+        check("serve_degraded_miss_failed_fast",
+              serve["degraded_miss_failed_fast"], "bool"),
+        check("serve_breaker_recovered",
+              metrics["breaker_state"] == "closed", "bool"),
+    ]
+
+
 def test_faulty_sweep_completes_and_matches_fault_free_winner():
     """Acceptance: 20% injected trial failures — every trial completes
     (retried or quarantined) and best() matches the fault-free winner."""
@@ -156,16 +175,14 @@ def test_service_survives_worker_outage():
 
 
 def main() -> None:
-    parser = argparse.ArgumentParser(description=__doc__)
+    parser = bench_arg_parser(__doc__, "BENCH_resilience.json")
     parser.add_argument("--trials", type=int, default=16,
                         help="NAS trial budget per sweep")
     parser.add_argument("--rate", type=float, default=0.2,
                         help="injected per-call evaluator failure rate")
-    parser.add_argument("--out", type=Path, default=Path("BENCH_resilience.json"))
     args = parser.parse_args()
 
     payload = run_benchmark(max_trials=args.trials, rate=args.rate)
-    args.out.write_text(json.dumps(payload, indent=2) + "\n")
 
     nas = payload["nas"]
     serve = payload["serve"]["metrics"]
@@ -179,9 +196,8 @@ def main() -> None:
           f"degraded served={serve['degraded_served']} "
           f"rejected={serve['degraded_rejected']}")
     print(f"-> {args.out}")
-    if not (nas["winner_matches_fault_free"]
-            and nas["completed_trials"] == nas["max_trials"]):
-        raise SystemExit("FAIL: faulty sweep did not match the fault-free run")
+    finish(payload, payload_checks(payload), args.out,
+           enforce=args.gate == "on")
 
 
 if __name__ == "__main__":

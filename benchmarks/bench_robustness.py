@@ -26,7 +26,6 @@ Usage::
 Also collectable by pytest (``pytest benchmarks/bench_robustness.py``).
 """
 
-import argparse
 import json
 import tempfile
 import time
@@ -34,6 +33,8 @@ from dataclasses import replace
 from pathlib import Path
 
 import numpy as np
+
+from gates import bench_arg_parser, check, finish
 
 from repro.arch import ConvSpec, PoolSpec, SPPNetConfig
 from repro.detect import (
@@ -185,6 +186,27 @@ def run_benchmark(scene_size: int = 320, fraction: float = 0.2) -> dict:
     }
 
 
+def payload_checks(payload: dict) -> list:
+    scan = payload["scan"]
+    resume = payload["resume"]
+    fallback = payload["fallback"]
+    return [
+        check("scan_tiles_corrupted", scan["tiles_corrupted"], ">=", 1,
+              track=False),
+        check("scan_tile_coverage", scan["tile_coverage"],
+              ">=", COVERAGE_FLOOR),
+        check("scan_f1_delta_vs_clean", scan["f1_delta"], "<=", F1_MARGIN),
+        check("resume_detections_identical",
+              resume["detections_identical"], "bool"),
+        check("resume_journal_byte_identical",
+              resume["journal_byte_identical"], "bool"),
+        check("fallback_outputs_match_eager",
+              fallback["fallback_outputs_match_eager"], "bool"),
+        check("fallback_all_outputs_finite",
+              fallback["all_outputs_finite"], "bool"),
+    ]
+
+
 def test_corrupted_scene_scan_gate():
     """Acceptance: ~20% corrupted tiles — the scan completes with zero
     uncaught exceptions, coverage >= 0.95, F1 within the fixed margin."""
@@ -215,18 +237,15 @@ def test_engine_faults_fall_back_to_eager():
 
 
 def main() -> None:
-    parser = argparse.ArgumentParser(description=__doc__)
+    parser = bench_arg_parser(__doc__, "BENCH_robustness.json")
     parser.add_argument("--scene-size", type=int, default=320,
                         help="synthetic scene edge length in pixels")
     parser.add_argument("--fraction", type=float, default=0.2,
                         help="fraction of tiles to corrupt")
-    parser.add_argument("--out", type=Path,
-                        default=Path("BENCH_robustness.json"))
     args = parser.parse_args()
 
     payload = run_benchmark(scene_size=args.scene_size,
                             fraction=args.fraction)
-    args.out.write_text(json.dumps(payload, indent=2) + "\n")
 
     scan = payload["scan"]
     resume = payload["resume"]
@@ -246,14 +265,8 @@ def main() -> None:
           f"served {fallback['completed_by_backend']}, "
           f"outputs match eager={fallback['fallback_outputs_match_eager']}")
     print(f"-> {args.out}")
-
-    ok = (scan["tile_coverage"] >= COVERAGE_FLOOR
-          and scan["f1_delta"] <= F1_MARGIN
-          and resume["detections_identical"]
-          and resume["journal_byte_identical"]
-          and fallback["fallback_outputs_match_eager"])
-    if not ok:
-        raise SystemExit("FAIL: robustness gate not met")
+    finish(payload, payload_checks(payload), args.out,
+           enforce=args.gate == "on")
 
 
 if __name__ == "__main__":

@@ -32,17 +32,16 @@ Usage::
 Also collectable by pytest (``pytest benchmarks/bench_scan.py``).
 """
 
-import argparse
-import json
 import os
 import time
-from pathlib import Path
 
 from repro.arch import ConvSpec, PoolSpec, SPPNetConfig
 from repro.detect import SPPNetDetector, scan_scene
 from repro.detect.scan import scan_origins
 from repro.geo import WatershedConfig, build_scene
 from repro.scanpar import TileSource, parallel_scan_scene
+
+from gates import bench_arg_parser, check, evaluate, finish
 
 SCENE_SIZE = 384
 WINDOW = 64
@@ -152,31 +151,30 @@ def run_benchmark(scene_size: int = SCENE_SIZE,
     }
 
 
-def check_gates(payload: dict, gate: str) -> list[str]:
-    """Return a list of failure messages (empty = all gates pass)."""
-    failures = []
-    for row in payload["configs"]:
-        if not row["matches_sequential_same_backend"]:
-            failures.append(
-                f"{row['label']} broke scan parity with the sequential "
-                f"{row['backend']} scan"
-            )
-    if payload["tile_buffer_bytes"]["streaming"] * 2 > \
-            payload["tile_buffer_bytes"]["materialized"]:
-        failures.append("streaming tile buffer is not meaningfully smaller "
-                        "than full materialization")
-    if gate == "auto":
-        gate = "speedup" if payload["cpu_count"] >= 2 else "parity"
-    if gate == "speedup":
+def payload_checks(payload: dict, mode: str) -> list:
+    """Gate criteria for one scan payload.
+
+    ``mode`` follows the module docstring: ``speedup`` additionally
+    enforces the >= 2x parallel gate, ``parity`` checks determinism
+    only, ``auto`` picks by visible core count.
+    """
+    checks = [
+        check(f"{row['label']}_matches_sequential",
+              row["matches_sequential_same_backend"], "bool")
+        for row in payload["configs"]
+    ]
+    checks.append(check(
+        "streaming_buffer_reduction_x",
+        payload["tile_buffer_bytes"]["reduction_x"], ">=", 2.0))
+    if mode == "auto":
+        mode = "speedup" if payload["cpu_count"] >= 2 else "parity"
+    if mode == "speedup":
         par = next(r for r in payload["configs"]
                    if r["label"] == "parallel-engine")
-        if par["speedup_vs_sequential_eager"] < SPEEDUP_GATE:
-            failures.append(
-                f"parallel-engine reached only "
-                f"{par['speedup_vs_sequential_eager']:.2f}x vs sequential "
-                f"eager (gate {SPEEDUP_GATE}x at {par['n_workers']} workers)"
-            )
-    return failures
+        checks.append(check("parallel_engine_speedup_vs_sequential_eager",
+                            par["speedup_vs_sequential_eager"],
+                            ">=", SPEEDUP_GATE))
+    return checks
 
 
 def test_scan_configurations_agree():
@@ -184,24 +182,22 @@ def test_scan_configurations_agree():
     eager scan exactly, and the streaming tiler bounds its buffer.  The
     >= 2x parallel speedup additionally gates when cores allow."""
     payload = run_benchmark(scene_size=256)
-    assert check_gates(payload, "auto") == []
+    assert evaluate(payload_checks(payload, "auto")) == []
 
 
 def main() -> None:
-    parser = argparse.ArgumentParser(description=__doc__)
+    parser = bench_arg_parser(__doc__, "BENCH_scan.json")
     parser.add_argument("--scene-size", type=int, default=SCENE_SIZE)
     parser.add_argument("--workers", type=int, default=None,
                         help="parallel worker count (default: min(4, cores))")
-    parser.add_argument("--gate", choices=("auto", "speedup", "parity"),
+    parser.add_argument("--gate-mode", choices=("auto", "speedup", "parity"),
                         default="auto",
                         help="speedup enforces the >= 2x parallel gate; "
                         "parity checks determinism only; auto picks by "
                         "visible core count")
-    parser.add_argument("--out", type=Path, default=Path("BENCH_scan.json"))
     args = parser.parse_args()
 
     payload = run_benchmark(args.scene_size, args.workers)
-    args.out.write_text(json.dumps(payload, indent=2) + "\n")
 
     print(f"scene {payload['scene_size']}px, {payload['n_tiles']} tiles, "
           f"{payload['cpu_count']} cpu(s)")
@@ -214,11 +210,8 @@ def main() -> None:
           f"{mem['materialized']:,} B materialized "
           f"({mem['reduction_x']:.0f}x smaller) -> {args.out}")
 
-    failures = check_gates(payload, args.gate)
-    for failure in failures:
-        print(f"FAIL: {failure}")
-    if failures:
-        raise SystemExit(1)
+    finish(payload, payload_checks(payload, args.gate_mode), args.out,
+           enforce=args.gate == "on")
 
 
 if __name__ == "__main__":

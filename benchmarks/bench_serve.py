@@ -14,7 +14,6 @@ Usage::
 Also collectable by pytest (``pytest benchmarks/bench_serve.py``).
 """
 
-import argparse
 import json
 import time
 from pathlib import Path
@@ -24,6 +23,8 @@ import numpy as np
 from repro.arch import ConvSpec, PoolSpec, SPPNetConfig
 from repro.detect import SPPNetDetector, predict
 from repro.serve import BatchPolicy, InferenceService, policy_from_fig6
+
+from gates import bench_arg_parser, check, evaluate, finish
 
 REPO_ROOT = Path(__file__).resolve().parents[1]
 FIG6 = REPO_ROOT / "results" / "fig6.json"
@@ -158,27 +159,30 @@ def run_benchmark(num_chips: int = 128) -> dict:
     }
 
 
+def payload_checks(payload: dict) -> list:
+    return [
+        check("best_batch_speedup_vs_sequential",
+              payload["best"]["speedup_vs_sequential"], ">=", 2.0),
+        check("worst_batch_speedup_vs_sequential",
+              payload["worst"]["speedup_vs_sequential"], ">=", PARITY_FLOOR),
+    ]
+
+
 def test_batched_service_beats_sequential_loop():
     """Acceptance: service throughput >= 2x the per-chip predict loop at
     the best fig6 batch size — and no configuration, including
     max_batch=1, is slower than the sequential loop."""
     payload = run_benchmark(num_chips=96)
-    assert payload["best"]["speedup_vs_sequential"] >= 2.0
-    assert payload["worst"]["speedup_vs_sequential"] >= PARITY_FLOOR, (
-        f"max_batch={payload['worst']['max_batch']} regressed below the "
-        f"sequential loop ({payload['worst']['speedup_vs_sequential']:.2f}x)"
-    )
+    assert evaluate(payload_checks(payload)) == []
 
 
 def main() -> None:
-    parser = argparse.ArgumentParser(description=__doc__)
+    parser = bench_arg_parser(__doc__, "BENCH_serve.json")
     parser.add_argument("--chips", type=int, default=128,
                         help="requests per measurement")
-    parser.add_argument("--out", type=Path, default=Path("BENCH_serve.json"))
     args = parser.parse_args()
 
     payload = run_benchmark(args.chips)
-    args.out.write_text(json.dumps(payload, indent=2) + "\n")
 
     print(f"sequential loop : {payload['sequential_throughput_chips_per_s']:8.1f} chips/s")
     for row in payload["service"]:
@@ -194,15 +198,8 @@ def main() -> None:
     best = payload["best"]
     print(f"best: {best['speedup_vs_sequential']:.2f}x at "
           f"max_batch={best['max_batch']} -> {args.out}")
-    if best["speedup_vs_sequential"] < 2.0:
-        raise SystemExit("FAIL: batched service did not reach 2x sequential")
-    worst = payload["worst"]
-    if worst["speedup_vs_sequential"] < PARITY_FLOOR:
-        raise SystemExit(
-            f"FAIL: max_batch={worst['max_batch']} is slower than the "
-            f"sequential loop ({worst['speedup_vs_sequential']:.2f}x < "
-            f"{PARITY_FLOOR}x parity floor)"
-        )
+    finish(payload, payload_checks(payload), args.out,
+           enforce=args.gate == "on")
 
 
 if __name__ == "__main__":

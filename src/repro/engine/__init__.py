@@ -12,11 +12,31 @@ outputs (``docs/engine.md`` walks through each stage).
 The eager path remains the default everywhere; callers opt in with
 ``backend="engine"`` (``repro.detect.predict`` / ``scan_scene``,
 ``repro.serve.InferenceService``, ``repro.nas.measure_latency_ms``).
+
+Convolutions dispatch over three kernel variants (plain im2col,
+memory-tiled implicit GEMM, Winograd F(2x2,3x3)); a build-time
+autotuner (:mod:`.autotune`) benchmarks the eligible variants per conv
+geometry and memoizes the winner.  Reduced-precision execution
+(float16 weight rounding, int8 per-channel GEMM) lives in
+:mod:`.quant` and is selected under the paper's accuracy constraint by
+:func:`quantize_with_accuracy_gate`.
 """
 
+from .autotune import (
+    CONV_VARIANTS,
+    ConvKey,
+    autotune_choices,
+    clear_autotune_cache,
+    eligible_variants,
+)
 from .compiled import CompiledModel, compile, compiled_for
 from .fusion import FusionError, Step, fuse_graph
 from .plan import Lifetime, MemoryPlan, plan_memory
+from .quant import (
+    QUANT_MODES,
+    QuantPolicy,
+    quantize_with_accuracy_gate,
+)
 from .trace import Traced, TraceError, register_tracer, trace
 
 __all__ = [
@@ -33,4 +53,12 @@ __all__ = [
     "TraceError",
     "register_tracer",
     "trace",
+    "CONV_VARIANTS",
+    "ConvKey",
+    "eligible_variants",
+    "autotune_choices",
+    "clear_autotune_cache",
+    "QUANT_MODES",
+    "QuantPolicy",
+    "quantize_with_accuracy_gate",
 ]

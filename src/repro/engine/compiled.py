@@ -24,15 +24,18 @@ from __future__ import annotations
 import threading
 import time
 import weakref
+from dataclasses import replace
 
 import numpy as np
 
+from .autotune import ConvKey, choose_variant
 from .fusion import Step, fuse_graph
 from .kernels import (
     adaptive_bins,
     adaptive_pool_nhwc,
+    bind_conv,
     concat_rows,
-    conv_im2col,
+    conv_scratch_elems,
     linear,
     maxpool_shifted,
     pack_conv_weight,
@@ -42,19 +45,31 @@ from .kernels import (
     shifted_views,
     sigmoid_into,
     softmax_rows,
-    strided_windows,
+    winograd23_pack_weight,
 )
 from .plan import MemoryPlan, plan_memory
+from .quant import (
+    QuantPolicy,
+    activation_scale,
+    bind_conv_q8,
+    bind_linear_q8,
+    quantize_weight_per_channel,
+    round_f16,
+)
 from .trace import Traced, trace
 
 __all__ = ["CompiledModel", "compile", "compiled_for"]
 
 # Kernel-category attribution for profile(), matching the
 # repro.profiling taxonomy (conv / matmul / pooling / elementwise) plus
-# a "memops" bucket for pure data movement.
+# a "memops" bucket for pure data movement.  Fused kernels (conv_pool,
+# quantized convs) further split their own wall time into phases —
+# gather/staging as memops, fused pooling as pooling — inside
+# run_timed(); the entry here is the bucket for any untimed remainder.
 _CATEGORY = {
     "input": "memops",
     "conv": "conv",
+    "conv_pool": "conv",
     "linear": "matmul",
     "maxpool": "pooling",
     "maxpool_flatten": "pooling",
@@ -78,11 +93,95 @@ def _nhwc(shape: tuple[int, ...], n: int) -> tuple[int, ...]:
     return (n,) + shape
 
 
+def _conv_step_params(step: Step, shapes: dict) -> dict:
+    """Static conv geometry shared by variant selection and binding."""
+    c_in, h, w = shapes[step.inputs[0]]
+    pooled = step.kind == "conv_pool"
+    return {
+        "h": int(h), "w": int(w), "c_in": int(c_in),
+        "out_channels": int(step.attrs["out_channels"]),
+        "kernel": int(step.attrs["kernel"]),
+        "stride": int(step.attrs["stride"]),
+        "padding": int(step.attrs["padding"]),
+        "bias": bool(step.attrs["bias"]),
+        "pool": pooled,
+    }
+
+
+def _select_conv_variant(step: Step, shapes: dict, batch: int,
+                         dtype: np.dtype, packed: dict,
+                         quant: QuantPolicy) -> tuple[str, int]:
+    """Autotuned kernel variant and its per-sample scratch size."""
+    geo = _conv_step_params(step, shapes)
+    key = ConvKey(batch=batch, height=geo["h"], width=geo["w"],
+                  in_channels=geo["c_in"], out_channels=geo["out_channels"],
+                  kernel=geo["kernel"], stride=geo["stride"],
+                  padding=geo["padding"], pool=geo["pool"],
+                  dtype=str(np.dtype(dtype)), mode=quant.mode)
+    pack = packed[step.attrs["weights"]]
+    pool = (2, 2) if geo["pool"] else None
+    relu = bool(step.attrs["relu"])
+
+    def make_kernel(variant: str):
+        # Standalone benchmark buffers: the arena does not exist yet
+        # (its sizing depends on the choice made here).
+        rng = np.random.default_rng(0)
+        src = rng.standard_normal(
+            (batch, geo["h"], geo["w"], geo["c_in"])).astype(dtype)
+        out = np.empty(_nhwc(step.out_shape, batch), dtype=dtype)
+        scratch = np.empty(
+            batch * conv_scratch_elems(
+                variant, batch=batch, h=geo["h"], w=geo["w"],
+                c_in=geo["c_in"], out_channels=geo["out_channels"],
+                kernel=geo["kernel"], stride=geo["stride"],
+                padding=geo["padding"], bias=geo["bias"], pool=geo["pool"]),
+            dtype=dtype)
+        return bind_conv(
+            variant, src=src, out=out, scratch=scratch, k=geo["kernel"],
+            stride=geo["stride"], pad=geo["padding"], relu=relu, pool=pool,
+            w_pack=pack.get("im2col"),
+            wg_pack=(pack.get("wg"), pack.get("bias")))
+
+    variant = choose_variant(key, make_kernel)
+    bias_col = geo["bias"] and quant.mode != "int8"
+    scratch_elems = conv_scratch_elems(
+        variant, batch=batch, h=geo["h"], w=geo["w"], c_in=geo["c_in"],
+        out_channels=geo["out_channels"], kernel=geo["kernel"],
+        stride=geo["stride"], padding=geo["padding"], bias=bias_col,
+        pool=geo["pool"])
+    return variant, scratch_elems
+
+
 class _Program:
     """One bound executable: arena slots, views, kernel closures."""
 
     def __init__(self, steps: list[Step], outputs: tuple[str, ...],
-                 batch: int, dtype: np.dtype, packed: dict) -> None:
+                 batch: int, dtype: np.dtype, packed: dict,
+                 quant: QuantPolicy, act_scales: dict) -> None:
+        self.quant = quant
+        self._act_scales = act_scales
+        shapes = {s.name: s.out_shape for s in steps}
+
+        # Resolve the kernel variant per conv before planning: each
+        # variant has its own scratch footprint (im2col columns vs block
+        # buffers vs Winograd transform planes), and the plan must
+        # reserve what the bound kernel will actually touch.
+        self.kernel_choices: dict[str, str] = {}
+        resolved: list[Step] = []
+        for step in steps:
+            if step.kind in ("conv", "conv_pool"):
+                variant, scratch = _select_conv_variant(
+                    step, shapes, batch, dtype, packed, quant)
+                self.kernel_choices[step.name] = variant
+                step = replace(step, scratch_elems=scratch)
+            elif step.kind == "linear" and quant.mode == "int8":
+                # quantized input copy (the arena view may have other
+                # consumers, so it cannot be quantized in place)
+                step = replace(step,
+                               scratch_elems=int(step.attrs["in_features"]))
+            resolved.append(step)
+        steps = resolved
+
         self.plan: MemoryPlan = plan_memory(
             steps, outputs, batch, itemsize=dtype.itemsize
         )
@@ -90,7 +189,6 @@ class _Program:
         elems = [size // dtype.itemsize for size in self.plan.slot_sizes]
         self._slots = [np.empty(n, dtype=dtype) for n in elems]
 
-        shapes = {s.name: s.out_shape for s in steps}
         views: dict[str, np.ndarray] = {}
         for step in steps:
             life = self.plan.lifetimes[step.name]
@@ -100,12 +198,18 @@ class _Program:
 
         self._input_fn = None
         self._fns: list[tuple[str, object]] = []  # (category, closure)
+        # (step name, input view) for quantized steps — calibration taps
+        self._taps: list[tuple[str, np.ndarray] | None] = []
         for step in steps:
             fn = self._bind(step, views, shapes, batch, dtype, packed)
             if step.kind == "input":
                 self._input_fn = fn
             else:
                 self._fns.append((_CATEGORY[step.kind], fn))
+                quantized = (quant.mode == "int8" and
+                             step.kind in ("conv", "conv_pool", "linear"))
+                self._taps.append(
+                    (step.name, views[step.inputs[0]]) if quantized else None)
 
         out_views = [views[name] for name in outputs]
         out_spatial = [len(shapes[name]) == 3 for name in outputs]
@@ -133,59 +237,42 @@ class _Program:
                     np.copyto(out, x)
             return fn
 
-        if kind == "conv":
+        if kind in ("conv", "conv_pool"):
             k = int(step.attrs["kernel"])
             stride = int(step.attrs["stride"])
             pad = int(step.attrs["padding"])
-            c_in = int(step.attrs["in_channels"])
-            has_bias = bool(step.attrs["bias"])
-            f, ho, wo = step.out_shape
-            w_pack, _ = packed[step.attrs["weights"]]
             relu = bool(step.attrs["relu"])
+            pool = (2, 2) if kind == "conv_pool" else None
             scratch = self._scratch(step, n, dtype)
-            kkc = c_in * k * k
-            width = kkc + (1 if has_bias else 0)
-            cols_elems = n * ho * wo * width
-            cols2d = scratch[:cols_elems].reshape(n * ho * wo, width)
-            # window part of the scratch: axis splits of a view never
-            # copy, so this aliases cols2d even with a bias column
-            cols = cols2d[:, :kkc].reshape(n, ho, wo, k, k, c_in)
-            ones_col = cols2d[:, -1] if has_bias else None
-            assert np.shares_memory(cols, cols2d)  # reshape must not copy
-            out2d = out.reshape(n * ho * wo, f)
+            pack = packed[step.attrs["weights"]]
             src = ins[0]
-            if pad:
-                _, h_in, w_in, _ = src.shape
-                hp, wp = h_in + 2 * pad, w_in + 2 * pad
-                padded = scratch[cols_elems:cols_elems + n * hp * wp * c_in]
-                padded = padded.reshape(n, hp, wp, c_in)
-                interior = padded[:, pad:pad + h_in, pad:pad + w_in]
-                win = strided_windows(padded, k, stride)
-
-                def fn(padded=padded, interior=interior, src=src, win=win,
-                       cols=cols, cols2d=cols2d, ones_col=ones_col,
-                       w_pack=w_pack, out2d=out2d, relu=relu):
-                    # slots are recycled between calls, so the zero
-                    # border must be re-established every run
-                    padded.fill(0.0)
-                    np.copyto(interior, src)
-                    conv_im2col(win, cols, cols2d, ones_col, w_pack, out2d,
-                                relu)
-                return fn
-
-            win = strided_windows(src, k, stride)
-
-            def fn(win=win, cols=cols, cols2d=cols2d, ones_col=ones_col,
-                   w_pack=w_pack, out2d=out2d, relu=relu):
-                conv_im2col(win, cols, cols2d, ones_col, w_pack, out2d, relu)
-            return fn
+            if self.quant.mode == "int8":
+                w_q, w_scales = pack["q"]
+                return bind_conv_q8(
+                    src=src, out=out, scratch=scratch, w_q=w_q,
+                    w_scales=w_scales, bias=pack["bias"], k=k,
+                    stride=stride, pad=pad, relu=relu, pool=pool,
+                    scales=self._act_scales, name=step.name)
+            return bind_conv(
+                self.kernel_choices[step.name], src=src, out=out,
+                scratch=scratch, k=k, stride=stride, pad=pad, relu=relu,
+                pool=pool, w_pack=pack.get("im2col"),
+                wg_pack=(pack.get("wg"), pack.get("bias")))
 
         if kind == "linear":
-            w_pack, bias = packed[step.attrs["weights"]]
+            pack = packed[step.attrs["weights"]]
             relu = bool(step.attrs["relu"])
+            if self.quant.mode == "int8":
+                w_q, w_scales = pack["q"]
+                return bind_linear_q8(
+                    in2d=ins[0], out=out,
+                    scratch=self._scratch(step, n, dtype), w_q=w_q,
+                    w_scales=w_scales, bias=pack["bias"], relu=relu,
+                    scales=self._act_scales, name=step.name)
+            w_pack, bias = pack["pack"], pack["bias"]
 
-            def fn(in2d=ins[0], w_pack=w_pack, bias=bias, out2d=out,
-                   relu=relu):
+            def fn(acc=None, in2d=ins[0], w_pack=w_pack, bias=bias,
+                   out2d=out, relu=relu):
                 linear(in2d, w_pack, bias, out2d, relu)
             return fn
 
@@ -204,7 +291,7 @@ class _Program:
                 pooled = staging[: n * ho * wo * c].reshape(n, ho, wo, c)
             views = shifted_views(src, k, stride, ho, wo)
 
-            def reduce_fn(views=views, pooled=pooled, relu=relu):
+            def reduce_fn(acc=None, views=views, pooled=pooled, relu=relu):
                 maxpool_shifted(views, pooled)
                 if relu:
                     # deferred conv activation (ReLU commutes with max),
@@ -215,7 +302,8 @@ class _Program:
 
             out_nchw = out.reshape(n, c, ho, wo)
 
-            def fn(reduce_fn=reduce_fn, pooled=pooled, out_nchw=out_nchw):
+            def fn(acc=None, reduce_fn=reduce_fn, pooled=pooled,
+                   out_nchw=out_nchw):
                 reduce_fn()
                 pooled_to_flat(pooled, out_nchw)
             return fn
@@ -227,31 +315,31 @@ class _Program:
             ridx, _ = adaptive_bins(h, lv)
             cidx, _ = adaptive_bins(w, lv)
             if kind == "adaptive_pool":
-                def fn(src=src, ridx=ridx, cidx=cidx, out=out):
+                def fn(acc=None, src=src, ridx=ridx, cidx=cidx, out=out):
                     adaptive_pool_nhwc(src, ridx, cidx, out)
                 return fn
             staging = self._scratch(step, n, dtype)
             pooled = staging[: n * lv * lv * c].reshape(n, lv, lv, c)
             out_nchw = out.reshape(n, c, lv, lv)
 
-            def fn(src=src, ridx=ridx, cidx=cidx, pooled=pooled,
+            def fn(acc=None, src=src, ridx=ridx, cidx=cidx, pooled=pooled,
                    out_nchw=out_nchw):
                 adaptive_pool_nhwc(src, ridx, cidx, pooled)
                 pooled_to_flat(pooled, out_nchw)
             return fn
 
         if kind == "relu":
-            def fn(src=ins[0], out=out):
+            def fn(acc=None, src=ins[0], out=out):
                 relu_(src, out)
             return fn
 
         if kind == "sigmoid":
-            def fn(src=ins[0], out=out):
+            def fn(acc=None, src=ins[0], out=out):
                 sigmoid_into(src, out)
             return fn
 
         if kind == "softmax":
-            def fn(src=ins[0], out=out):
+            def fn(acc=None, src=ins[0], out=out):
                 softmax_rows(src, out)
             return fn
 
@@ -261,22 +349,22 @@ class _Program:
                 _, h, w, c = src.shape
                 out_nchw = out.reshape(n, c, h, w)
 
-                def fn(src=src, out_nchw=out_nchw):
+                def fn(acc=None, src=src, out_nchw=out_nchw):
                     pooled_to_flat(src, out_nchw)
             else:
-                def fn(src=src, out=out):
+                def fn(acc=None, src=src, out=out):
                     np.copyto(out, src)
             return fn
 
         if kind == "concat":
             axis = 3 if out.ndim == 4 else 1
 
-            def fn(parts=ins, out=out, axis=axis):
+            def fn(acc=None, parts=ins, out=out, axis=axis):
                 concat_rows(parts, out, axis)
             return fn
 
         if kind == "identity":
-            def fn(src=ins[0], out=out):
+            def fn(acc=None, src=ins[0], out=out):
                 np.copyto(out, src)
             return fn
 
@@ -295,11 +383,34 @@ class _Program:
         t1 = time.perf_counter()
         acc["memops"] = acc.get("memops", 0.0) + (t1 - t0)
         for category, fn in self._fns:
+            phases: dict[str, float] = {}
             t0 = time.perf_counter()
-            fn()
+            fn(phases)
             t1 = time.perf_counter()
-            acc[category] = acc.get(category, 0.0) + (t1 - t0)
+            if phases:
+                # fused kernels self-attribute their phases (gather ->
+                # memops, fused pool -> pooling, ...); any untimed
+                # remainder lands in the step's own category
+                timed = 0.0
+                for phase_cat, dt in phases.items():
+                    acc[phase_cat] = acc.get(phase_cat, 0.0) + dt
+                    timed += dt
+                acc[category] = (acc.get(category, 0.0)
+                                 + max(0.0, (t1 - t0) - timed))
+            else:
+                acc[category] = acc.get(category, 0.0) + (t1 - t0)
         return self._extract()
+
+    def run_calibrate(self, x: np.ndarray, stats: dict[str, float],
+                      percentile: float) -> None:
+        """One forward pass recording per-quantized-step input scales."""
+        self._input_fn(x)
+        for (_, fn), tap in zip(self._fns, self._taps):
+            if tap is not None:
+                name, view = tap
+                stats[name] = max(stats.get(name, 0.0),
+                                  activation_scale(view, percentile))
+            fn()
 
     def _extract(self) -> list[np.ndarray]:
         return [
@@ -319,15 +430,19 @@ class CompiledModel:
     """
 
     def __init__(self, module, input_shape: tuple[int, ...],
-                 dtype=np.float32) -> None:
+                 dtype=np.float32, quant="float32") -> None:
         self.module = module
         self.dtype = np.dtype(dtype)
+        self.quant = QuantPolicy.coerce(quant)
         self.input_shape = tuple(int(d) for d in input_shape)
         traced = trace(module, self.input_shape)
         self.graph = traced.graph
         self.outputs = traced.outputs
         self.steps: list[Step] = fuse_graph(traced.graph, traced.outputs)
         self._packed = self._pack(traced)
+        #: static int8 activation scales, committed by calibrate();
+        #: quantized kernels fall back to dynamic scales while empty.
+        self._act_scales: dict[str, float] = {}
         self._step_cache: dict[tuple[int, ...], list[Step]] = {
             self.input_shape: self.steps
         }
@@ -335,22 +450,51 @@ class CompiledModel:
         self._lock = threading.Lock()
 
     # -- compile-time ----------------------------------------------------
-    def _pack(self, traced: Traced) -> dict[str, tuple]:
-        """Snapshot weights into GEMM layouts (copies, taken once)."""
-        packed: dict[str, tuple] = {}
+    def _pack(self, traced: Traced) -> dict[str, dict]:
+        """Snapshot weights into per-variant GEMM layouts (taken once).
+
+        Under ``quant="float16"`` every parameter is rounded through
+        half precision first; under ``quant="int8"`` the GEMM operands
+        are additionally quantized per output channel (integer values
+        stored in the arena dtype so BLAS consumes them directly).
+        """
+        f16 = self.quant.mode == "float16"
+        int8 = self.quant.mode == "int8"
+        packed: dict[str, dict] = {}
         for name, params in traced.params.items():
             weight = params["weight"]
             bias = params.get("bias")
+            if f16:
+                weight = round_f16(weight, self.dtype)
+                bias = None if bias is None else round_f16(bias, self.dtype)
+            b_vec = None if bias is None else \
+                np.ascontiguousarray(bias, dtype=self.dtype)
             if weight.ndim == 4:
                 # conv bias rides inside the packed matrix (ones-column
-                # trick), so the entry is a single GEMM operand
-                packed[name] = (pack_conv_weight(weight, bias, self.dtype),
-                                None)
+                # trick); the separate vector serves the winograd /
+                # quantized / fused-pool epilogues
+                entry = {
+                    "kind": "conv",
+                    "im2col": pack_conv_weight(weight, bias, self.dtype),
+                    "bias": b_vec,
+                }
+                if weight.shape[2] == weight.shape[3] == 3 and not int8:
+                    entry["wg"] = winograd23_pack_weight(weight, self.dtype)
+                if int8:
+                    rows = weight.transpose(2, 3, 1, 0).reshape(
+                        -1, weight.shape[0])
+                    entry["q"] = quantize_weight_per_channel(rows, self.dtype)
+                packed[name] = entry
             else:
-                b_pack = None if bias is None else \
-                    np.ascontiguousarray(bias, dtype=self.dtype)
-                packed[name] = (pack_linear_weight(weight, self.dtype),
-                                b_pack)
+                entry = {
+                    "kind": "linear",
+                    "pack": pack_linear_weight(weight, self.dtype),
+                    "bias": b_vec,
+                }
+                if int8:
+                    entry["q"] = quantize_weight_per_channel(
+                        entry["pack"], self.dtype)
+                packed[name] = entry
         return packed
 
     def _steps_for(self, sample_shape: tuple[int, ...]) -> list[Step]:
@@ -378,7 +522,7 @@ class CompiledModel:
         if prog is None:
             steps = self._steps_for(sample_shape)
             prog = _Program(steps, self.outputs, batch, self.dtype,
-                            self._packed)
+                            self._packed, self.quant, self._act_scales)
             self._programs[key] = prog
         return prog
 
@@ -438,14 +582,55 @@ class CompiledModel:
                 self._program_for(int(batch), shape)
         return (time.perf_counter() - start) * 1e3
 
+    def calibrate(self, images, batch_size: int = 20,
+                  percentile: float | None = None) -> dict[str, float]:
+        """Freeze int8 activation scales from a held-out chip sample.
+
+        Runs ``images`` (NCHW) through the quantized programs, records
+        the |activation| percentile at every quantized step's input, and
+        commits the resulting static scales — replacing the per-call
+        dynamic absmax fallback.  Returns the committed ``{step name:
+        scale}`` table (empty for non-int8 modes, where calibration is a
+        no-op).
+        """
+        if self.quant.mode != "int8":
+            return {}
+        pct = self.quant.percentile if percentile is None else percentile
+        data = np.asarray(getattr(images, "data", images))
+        if data.ndim != len(self.input_shape) + 1:
+            raise ValueError(
+                f"calibration sample must be batched with "
+                f"{len(self.input_shape) + 1} dims, got {data.shape}")
+        stats: dict[str, float] = {}
+        with self._lock:
+            for start in range(0, len(data), batch_size):
+                batch = data[start:start + batch_size]
+                prog = self._program_for(batch.shape[0],
+                                         tuple(batch.shape[1:]))
+                prog.run_calibrate(batch, stats, pct)
+            self._act_scales.clear()
+            self._act_scales.update(stats)
+        return dict(stats)
+
     # -- introspection ---------------------------------------------------
     def memory_plan(self, batch: int = 1,
                     sample_shape: tuple[int, ...] | None = None) -> MemoryPlan:
-        """The planner's arena assignment at ``batch`` samples."""
+        """The arena assignment the executed program holds at ``batch``
+        (scratch already re-sized for the autotuned kernel variants)."""
         with self._lock:
-            steps = self._steps_for(sample_shape or self.input_shape)
-        return plan_memory(steps, self.outputs, batch,
-                           itemsize=self.dtype.itemsize)
+            return self._program_for(
+                batch, tuple(sample_shape or self.input_shape)).plan
+
+    def kernel_choices(self, batch: int = 1,
+                       sample_shape: tuple[int, ...] | None = None
+                       ) -> dict[str, str]:
+        """The autotuner's conv-variant decision per conv step for one
+        (batch, shape) program — recorded in the program cache, so this
+        never re-measures."""
+        with self._lock:
+            prog = self._program_for(
+                batch, tuple(sample_shape or self.input_shape))
+        return dict(prog.kernel_choices)
 
     def planned_peak_bytes(self, batch: int = 1) -> int:
         """Arena bytes the compiled program holds at ``batch`` — the
@@ -486,7 +671,7 @@ class CompiledModel:
 
 
 def compile(model, input_shape: tuple[int, ...] | None = None,
-            dtype=np.float32) -> CompiledModel:
+            dtype=np.float32, quant="float32") -> CompiledModel:
     """Compile ``model`` for fast inference.
 
     ``input_shape`` is the nominal per-sample shape ``(C, H, W)``; for an
@@ -498,6 +683,12 @@ def compile(model, input_shape: tuple[int, ...] | None = None,
     ``dtype`` selects the arena precision: ``float32`` (default) is the
     deployment configuration; ``float64`` reproduces eager numerics
     bit-for-bit and exists for equivalence testing.
+
+    ``quant`` selects reduced-precision execution (``"float16"`` /
+    ``"int8"`` or a :class:`~.quant.QuantPolicy`); see
+    :mod:`repro.engine.quant` — in particular
+    :func:`~.quant.quantize_with_accuracy_gate`, which subordinates the
+    mode choice to the paper's accuracy constraint.
     """
     if input_shape is None:
         config = getattr(model, "config", None)
@@ -508,13 +699,13 @@ def compile(model, input_shape: tuple[int, ...] | None = None,
             )
         side = max(100, config.min_input_size())
         input_shape = (config.in_channels, side, side)
-    return CompiledModel(model, input_shape, dtype=dtype)
+    return CompiledModel(model, input_shape, dtype=dtype, quant=quant)
 
 
 _COMPILED_CACHE: weakref.WeakKeyDictionary = weakref.WeakKeyDictionary()
 
 
-def compiled_for(model, dtype=np.float32) -> CompiledModel:
+def compiled_for(model, dtype=np.float32, quant="float32") -> CompiledModel:
     """Per-model-instance compile cache used by ``backend="engine"``
     call sites (``predict``, ``scan_scene``, the NAS latency evaluator).
 
@@ -522,8 +713,10 @@ def compiled_for(model, dtype=np.float32) -> CompiledModel:
     model afterwards requires a fresh :func:`compile` (or a new model
     object) to pick up the new parameters.
     """
+    policy = QuantPolicy.coerce(quant)
     compiled = _COMPILED_CACHE.get(model)
-    if compiled is None or compiled.dtype != np.dtype(dtype):
-        compiled = compile(model, dtype=dtype)
+    if (compiled is None or compiled.dtype != np.dtype(dtype)
+            or compiled.quant.mode != policy.mode):
+        compiled = compile(model, dtype=dtype, quant=policy)
         _COMPILED_CACHE[model] = compiled
     return compiled

@@ -4,6 +4,13 @@ The fusion pass walks the IR in topological order and greedily merges
 producer/consumer pairs whose composition has a cheaper fused kernel than
 the two operators run separately:
 
+* ``CONV2D + RELU + MAXPOOL(2x2/s2)`` -> one ``conv_pool`` step: the
+  trunk pattern of every SPP-Net candidate.  The conv variants
+  (:func:`.kernels.bind_conv`) pool inside the kernel — tiled im2col
+  pools each block while it is cache-hot, and a Winograd F(2x2,3x3)
+  output tile *is* a 2x2/s2 pool window, so bias+ReLU run on the
+  4x-smaller pooled tensor and the full conv output never becomes a
+  planned tensor;
 * ``CONV2D + RELU``   -> one ``conv`` step (ReLU applied in the GEMM
   output buffer, saving a full activation read+write);
 * ``LINEAR + RELU``   -> one ``linear`` step (same argument);
@@ -27,6 +34,7 @@ from dataclasses import dataclass, field
 from typing import Mapping
 
 from ..graph.ir import Graph, OpType
+from .kernels import conv_scratch_elems
 
 __all__ = ["Step", "FusionError", "fuse_graph"]
 
@@ -39,9 +47,10 @@ class FusionError(ValueError):
 class Step:
     """One executable unit of a compiled program.
 
-    kind      : kernel selector ('input', 'conv', 'linear', 'maxpool',
-                'maxpool_flatten', 'adaptive_pool', 'adaptive_pool_flatten',
-                'relu', 'sigmoid', 'softmax', 'flatten', 'concat').
+    kind      : kernel selector ('input', 'conv', 'conv_pool', 'linear',
+                'maxpool', 'maxpool_flatten', 'adaptive_pool',
+                'adaptive_pool_flatten', 'relu', 'sigmoid', 'softmax',
+                'flatten', 'concat').
     name      : name of the tensor this step produces (= last covered node).
     inputs    : names of consumed tensors.
     out_shape : per-sample shape of the produced tensor.
@@ -114,39 +123,60 @@ def fuse_graph(graph: Graph, outputs: tuple[str, ...]) -> list[Step]:
         if t is OpType.CONV2D:
             relu = _sole_successor(graph, succ, op.name, OpType.RELU, out_set)
             covers = (op.name,) if relu is None else (op.name, relu)
-            result = covers[-1]
             apply_relu = relu is not None
+            pool_node = None
             if relu is not None:
                 consumed.add(relu)
-                # ReLU commutes with max pooling, so when the activated
-                # tensor feeds exactly one MAXPOOL, apply ReLU to the
-                # (k*k-times smaller) pooled output instead.
                 pool = _sole_successor(graph, succ, relu, OpType.MAXPOOL,
                                        out_set)
                 if pool is not None:
-                    apply_relu = False
-                    relu_after_pool.add(pool)
+                    pk = int(graph[pool].attr("kernel"))
+                    ps = int(graph[pool].attr("stride"))
+                    if pk == 2 and ps == 2:
+                        # The trunk pattern: fuse the whole
+                        # conv->relu->pool chain into one kernel.
+                        pool_node = pool
+                        consumed.add(pool)
+                    else:
+                        # ReLU commutes with max pooling, so when the
+                        # activated tensor feeds exactly one (unfusable)
+                        # MAXPOOL, apply ReLU to the smaller pooled
+                        # output instead.
+                        apply_relu = False
+                        relu_after_pool.add(pool)
             k = int(op.attr("kernel"))
             c_in = int(op.attr("in_channels"))
             p = int(op.attr("padding", 0))
             has_bias = bool(op.attr("bias", True))
             f, ho, wo = op.out_shape
-            # im2col column matrix: (ho*wo) rows of c_in*k*k values plus
-            # a ones column when the bias rides in the GEMM; a padded
-            # conv additionally stages the zero-bordered input.
-            scratch = ho * wo * (c_in * k * k + (1 if has_bias else 0))
-            if p:
-                _, h_in, w_in = graph[op.inputs[0]].out_shape
-                scratch += (h_in + 2 * p) * (w_in + 2 * p) * c_in
-            steps.append(Step(
-                "conv", result, op.inputs, op.out_shape,
-                attrs={"kernel": k, "stride": int(op.attr("stride")),
-                       "padding": p,
-                       "in_channels": c_in, "relu": apply_relu,
-                       "bias": has_bias, "weights": op.name},
-                covers=covers,
-                scratch_elems=scratch,
-            ))
+            _, h_in, w_in = graph[op.inputs[0]].out_shape
+            attrs = {"kernel": k, "stride": int(op.attr("stride")),
+                     "padding": p, "in_channels": c_in, "out_channels": f,
+                     "bias": has_bias, "weights": op.name}
+            # Scratch is sized for the reference im2col kernel here; the
+            # program binder re-sizes it for whichever variant the
+            # autotuner selects before memory planning.
+            scratch = conv_scratch_elems(
+                "im2col", batch=1, h=h_in, w=w_in, c_in=c_in,
+                out_channels=f, kernel=k, stride=attrs["stride"],
+                padding=p, bias=has_bias, pool=pool_node is not None)
+            if pool_node is not None:
+                steps.append(Step(
+                    "conv_pool", pool_node, op.inputs,
+                    graph[pool_node].out_shape,
+                    attrs={**attrs, "relu": True,
+                           "pool_kernel": 2, "pool_stride": 2,
+                           "conv_out": op.out_shape},
+                    covers=covers + (pool_node,),
+                    scratch_elems=scratch,
+                ))
+            else:
+                steps.append(Step(
+                    "conv", covers[-1], op.inputs, op.out_shape,
+                    attrs={**attrs, "relu": apply_relu},
+                    covers=covers,
+                    scratch_elems=scratch,
+                ))
             continue
 
         if t is OpType.LINEAR:

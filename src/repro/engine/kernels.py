@@ -24,8 +24,12 @@ from numpy.lib.stride_tricks import sliding_window_view
 __all__ = [
     "pack_conv_weight",
     "pack_linear_weight",
+    "winograd23_pack_weight",
     "adaptive_bins",
     "conv_im2col",
+    "conv_out_hw",
+    "conv_scratch_elems",
+    "bind_conv",
     "linear",
     "maxpool_shifted",
     "shifted_views",
@@ -37,6 +41,11 @@ __all__ = [
     "concat_rows",
     "strided_windows",
 ]
+
+#: Output rows per block of the tiled implicit-GEMM variant.  Even (so
+#: a fused 2x2/s2 pool consumes whole row pairs) and small enough that a
+#: block's im2col columns stay L2-resident on the deployment shapes.
+TILE_ROWS = 4
 
 
 # -- weight packing ------------------------------------------------------
@@ -63,6 +72,83 @@ def pack_conv_weight(weight: np.ndarray, bias: np.ndarray | None,
 def pack_linear_weight(weight: np.ndarray, dtype: np.dtype) -> np.ndarray:
     """``(out, in)`` -> contiguous ``(in, out)`` GEMM operand."""
     return np.ascontiguousarray(weight.T, dtype=dtype)
+
+
+# Winograd F(2x2, 3x3) transform matrices (Lavin & Gray 2016).  BT/AT are
+# integer matrices, G carries exact binary fractions, so the weight
+# transform is exact in float64 and the runtime transforms are pure
+# adds/subtracts.
+_WG_G = np.array([[1.0, 0.0, 0.0],
+                  [0.5, 0.5, 0.5],
+                  [0.5, -0.5, 0.5],
+                  [0.0, 0.0, 1.0]])
+
+
+def winograd23_pack_weight(weight: np.ndarray, dtype: np.dtype) -> np.ndarray:
+    """``(F, C, 3, 3)`` -> pre-transformed ``(16, C, F)`` operand.
+
+    ``U = G w G^T`` per (f, c) filter, computed in float64 and laid out
+    as 16 per-tile-position ``(C, F)`` GEMM operands so the runtime does
+    one batched ``np.matmul`` against the transformed input tiles.
+    """
+    u = np.einsum("ik,fckl,jl->ijcf", _WG_G, weight.astype(np.float64), _WG_G)
+    return np.ascontiguousarray(
+        u.reshape(16, weight.shape[1], weight.shape[0]), dtype=dtype)
+
+
+def conv_out_hw(h: int, w: int, k: int, stride: int,
+                pad: int) -> tuple[int, int]:
+    """Spatial output dims of a convolution."""
+    return ((h + 2 * pad - k) // stride + 1,
+            (w + 2 * pad - k) // stride + 1)
+
+
+def _winograd_geometry(ho: int, wo: int) -> tuple[int, int, int, int]:
+    """(tile rows, tile cols, padded H, padded W) for F(2x2,3x3)."""
+    th, tw = (ho + 1) // 2, (wo + 1) // 2
+    return th, tw, 2 * th + 2, 2 * tw + 2
+
+
+def _tile_rows(ho: int, pool: bool) -> int:
+    """Block height of the tiled variant (even when a pool is fused)."""
+    if pool:
+        return min(TILE_ROWS, max(2, ho - ho % 2))
+    return min(TILE_ROWS, ho)
+
+
+def conv_scratch_elems(variant: str, *, batch: int, h: int, w: int,
+                       c_in: int, out_channels: int, kernel: int,
+                       stride: int, padding: int, bias: bool,
+                       pool: bool) -> int:
+    """Per-sample scratch elements a conv variant needs at ``batch``.
+
+    The memory planner multiplies by ``batch``, so buffers that do not
+    scale with the batch (the tiled variant's block buffers) are
+    amortized with a ceiling division.
+    """
+    ho, wo = conv_out_hw(h, w, kernel, stride, padding)
+    f = out_channels
+    width = c_in * kernel * kernel + (1 if bias else 0)
+    pad_elems = ((h + 2 * padding) * (w + 2 * padding) * c_in
+                 if padding else 0)
+    if variant == "im2col":
+        elems = ho * wo * width + pad_elems
+        if pool:
+            elems += ho * wo * f  # full conv output staged before the pool
+        return elems
+    if variant == "im2col_tiled":
+        br = _tile_rows(ho, pool)
+        total = br * wo * width
+        if pool:
+            total += br * wo * f + (br // 2) * wo * f
+        return -(-total // batch) + pad_elems
+    if variant == "winograd23":
+        th, tw, hp, wp = _winograd_geometry(ho, wo)
+        staged = padding > 0 or (hp, wp) != (h, w)
+        return ((hp * wp * c_in if staged else 0)
+                + 17 * th * tw * c_in    # 16 transform planes + 1 temp
+                + 16 * th * tw * f)      # GEMM output / inverse transform
+    raise ValueError(f"unknown conv variant {variant!r}")
 
 
 def adaptive_bins(in_size: int, out_size: int) -> tuple[np.ndarray, int]:
@@ -192,3 +278,324 @@ def concat_rows(parts: list[np.ndarray], out: np.ndarray, axis: int) -> None:
         sl[axis] = slice(offset, offset + width)
         np.copyto(out[tuple(sl)], part)
         offset += width
+
+
+# -- conv variant binders ------------------------------------------------
+#
+# Each binder closes over prebound views and returns ``fn(acc=None)``.
+# With ``acc`` a dict, per-phase wall time is accumulated under the
+# profiling taxonomy (gather/staging -> "memops", arithmetic -> "conv",
+# fused pooling -> "pooling") so run_timed() can attribute fused kernels
+# at sub-step granularity; with ``acc=None`` the phase list runs with no
+# timing overhead.
+
+import time as _time  # noqa: E402  (kernel-local, keeps module header lean)
+
+
+def _compose(phases: list[tuple[str, object]]):
+    def fn(acc=None, phases=phases):
+        if acc is None:
+            for _, sub in phases:
+                sub()
+            return
+        for category, sub in phases:
+            t0 = _time.perf_counter()
+            sub()
+            acc[category] = (acc.get(category, 0.0)
+                            + _time.perf_counter() - t0)
+    return fn
+
+
+def _pad_phase(src: np.ndarray, scratch: np.ndarray, offset: int, pad: int):
+    """Stage ``src`` into a zero-bordered buffer; returns (phase, padded,
+    next offset).  Slots recycle between steps, so the border is re-zeroed
+    every call (one cheap fill beats four edge writes in NumPy)."""
+    n, h, w, c = src.shape
+    hp, wp = h + 2 * pad, w + 2 * pad
+    padded = scratch[offset:offset + n * hp * wp * c].reshape(n, hp, wp, c)
+    interior = padded[:, pad:pad + h, pad:pad + w]
+
+    def stage(padded=padded, interior=interior, src=src):
+        padded.fill(0.0)
+        np.copyto(interior, src)
+    return ("memops", stage), padded, offset + n * hp * wp * c
+
+
+def _pool2x2_views(stage: np.ndarray, ph: int, pw: int):
+    """The four shifted views of a conv-output staging tensor whose
+    elementwise max is the fused 2x2/s2 pooled output."""
+    return shifted_views(stage, 2, 2, ph, pw)
+
+
+def _bind_conv_im2col(src, out, scratch, w_pack, k, stride, pad, relu, pool):
+    n, h, w, c = src.shape
+    ho, wo = conv_out_hw(h, w, k, stride, pad)
+    f = out.shape[-1]
+    kkc = c * k * k
+    width = w_pack.shape[0]
+    has_bias = width == kkc + 1
+    phases: list[tuple[str, object]] = []
+    offset = 0
+    if pad:
+        phase, padded, offset = _pad_phase(src, scratch, offset, pad)
+        phases.append(phase)
+        win = strided_windows(padded, k, stride)
+    else:
+        win = strided_windows(src, k, stride)
+    cols2d = scratch[offset:offset + n * ho * wo * width].reshape(
+        n * ho * wo, width)
+    offset += n * ho * wo * width
+    cols = cols2d[:, :kkc].reshape(n, ho, wo, k, k, c)
+    assert np.shares_memory(cols, cols2d)  # axis-split reshape never copies
+    ones_col = cols2d[:, -1] if has_bias else None
+
+    def gather(win=win, cols=cols, ones_col=ones_col):
+        np.copyto(cols, win)
+        if ones_col is not None:
+            ones_col.fill(1.0)
+    phases.append(("memops", gather))
+
+    if pool is None:
+        out2d = out.reshape(n * ho * wo, f)
+
+        def gemm(cols2d=cols2d, w_pack=w_pack, out2d=out2d, relu=relu):
+            np.dot(cols2d, w_pack, out=out2d)
+            if relu:
+                np.maximum(out2d, 0.0, out=out2d)
+        phases.append(("conv", gemm))
+        return _compose(phases)
+
+    stage = scratch[offset:offset + n * ho * wo * f].reshape(n, ho, wo, f)
+    stage2d = stage.reshape(n * ho * wo, f)
+
+    def gemm(cols2d=cols2d, w_pack=w_pack, stage2d=stage2d):
+        np.dot(cols2d, w_pack, out=stage2d)
+    phases.append(("conv", gemm))
+
+    ph, pw = out.shape[1], out.shape[2]
+    views = _pool2x2_views(stage, ph, pw)
+
+    def pool_fn(views=views, out=out, relu=relu):
+        maxpool_shifted(views, out)
+        if relu:
+            np.maximum(out, 0.0, out=out)
+    phases.append(("pooling", pool_fn))
+    return _compose(phases)
+
+
+def _bind_conv_tiled(src, out, scratch, w_pack, k, stride, pad, relu, pool):
+    n, h, w, c = src.shape
+    ho, wo = conv_out_hw(h, w, k, stride, pad)
+    f = out.shape[-1]
+    kkc = c * k * k
+    width = w_pack.shape[0]
+    has_bias = width == kkc + 1
+    br = _tile_rows(ho, pool is not None)
+    phases: list[tuple[str, object]] = []
+    offset = 0
+    if pad:
+        phase, padded, offset = _pad_phase(src, scratch, offset, pad)
+        phases.append(phase)
+        win = strided_windows(padded, k, stride)
+    else:
+        win = strided_windows(src, k, stride)
+
+    bcols = scratch[offset:offset + br * wo * width].reshape(br * wo, width)
+    offset += br * wo * width
+    ones_col = bcols[:, -1] if has_bias else None
+    if pool is not None:
+        bstage = scratch[offset:offset + br * wo * f].reshape(br, wo, f)
+        offset += br * wo * f
+        rowbuf = scratch[offset:offset + (br // 2) * wo * f].reshape(
+            br // 2, wo, f)
+        offset += (br // 2) * wo * f
+        ph, pw = out.shape[1], out.shape[2]
+
+    # Prebind every (batch item, row block): tuples of views, so the hot
+    # loop is pure NumPy calls over L2-resident buffers — the full
+    # (N*Ho*Wo, C*k*k) im2col matrix never materializes.
+    blocks = []
+    for b in range(n):
+        for r0 in range(0, ho, br):
+            r1 = min(r0 + br, ho)
+            rows = r1 - r0
+            cb = bcols[:rows * wo]
+            cb_win = cb[:, :kkc].reshape(1, rows, wo, k, k, c)
+            src_win = win[b:b + 1, r0:r1]
+            if pool is None:
+                tgt = out[b].reshape(ho * wo, f)[r0 * wo:r1 * wo]
+                blocks.append((cb, cb_win, src_win, tgt))
+            else:
+                pr = min(rows // 2, ph - r0 // 2)
+                if pr <= 0 and rows > 0:
+                    continue  # trailing rows past the last pool window
+                blocks.append((
+                    cb, cb_win, src_win,
+                    bstage.reshape(br * wo, f)[:rows * wo],
+                    bstage[0:2 * pr:2], bstage[1:2 * pr:2], rowbuf[:pr],
+                    out[b, r0 // 2:r0 // 2 + pr],
+                ))
+
+    if pool is None:
+        def run(blocks=blocks, w_pack=w_pack, ones_col=ones_col,
+                out=out, relu=relu):
+            if ones_col is not None:
+                ones_col.fill(1.0)
+            for cb, cb_win, src_win, tgt in blocks:
+                np.copyto(cb_win, src_win)
+                np.dot(cb, w_pack, out=tgt)
+            if relu:
+                np.maximum(out, 0.0, out=out)
+    else:
+        def run(blocks=blocks, w_pack=w_pack, ones_col=ones_col,
+                out=out, relu=relu, pw=pw):
+            if ones_col is not None:
+                ones_col.fill(1.0)
+            for (cb, cb_win, src_win, gtgt, even, odd, rbuf,
+                 ptgt) in blocks:
+                np.copyto(cb_win, src_win)
+                np.dot(cb, w_pack, out=gtgt)
+                np.maximum(even, odd, out=rbuf)
+                np.maximum(rbuf[:, 0:2 * pw:2], rbuf[:, 1:2 * pw:2],
+                           out=ptgt)
+            if relu:
+                np.maximum(out, 0.0, out=out)
+    phases.append(("conv", run))
+    return _compose(phases)
+
+
+def _bind_conv_winograd23(src, out, scratch, wg_pack, pad, relu, pool):
+    u, bias = wg_pack
+    n, h, w, c = src.shape
+    ho, wo = conv_out_hw(h, w, 3, 1, pad)
+    f = u.shape[2]
+    th, tw, hp, wp = _winograd_geometry(ho, wo)
+    nsp = n * th * tw
+    phases: list[tuple[str, object]] = []
+    offset = 0
+    staged = pad > 0 or (hp, wp) != (h, w)
+    if staged:
+        xp = scratch[offset:offset + n * hp * wp * c].reshape(n, hp, wp, c)
+        offset += n * hp * wp * c
+        interior = xp[:, pad:pad + h, pad:pad + w]
+
+        def stage_fn(xp=xp, interior=interior, src=src):
+            xp.fill(0.0)
+            np.copyto(interior, src)
+        phases.append(("memops", stage_fn))
+    else:
+        xp = src
+
+    T = scratch[offset:offset + 16 * nsp * c].reshape(4, 4, n, th, tw, c)
+    offset += 16 * nsp * c
+    temp = scratch[offset:offset + nsp * c].reshape(n, th, tw, c)
+    offset += nsp * c
+    M = scratch[offset:offset + 16 * nsp * f].reshape(16, nsp, f)
+    M4 = M.reshape(4, 4, nsp, f)
+    V = T.reshape(16, nsp, c)
+    # 4x4 input tiles on the stride-2 grid, as direct strided slices of
+    # the (padded) input — no sliding-window gather is materialized.
+    d = [[xp[:, a:a + 2 * th:2, b:b + 2 * tw:2, :] for b in range(4)]
+         for a in range(4)]
+
+    def transform(d=d, T=T, temp=temp, V=V, u=u, M=M, M4=M4):
+        # rows: T[i][b] = (BT @ d)[i][b] — BT is +-1, pure add/sub
+        for b in range(4):
+            np.subtract(d[0][b], d[2][b], out=T[0, b])
+            np.add(d[1][b], d[2][b], out=T[1, b])
+            np.subtract(d[2][b], d[1][b], out=T[2, b])
+            np.subtract(d[1][b], d[3][b], out=T[3, b])
+        # cols in place: V[i] = T[i] @ B, one saved plane via `temp`
+        for i in range(4):
+            np.copyto(temp, T[i, 1])
+            np.subtract(T[i, 0], T[i, 2], out=T[i, 0])
+            np.add(temp, T[i, 2], out=T[i, 1])
+            np.subtract(T[i, 2], temp, out=T[i, 2])
+            np.subtract(temp, T[i, 3], out=T[i, 3])
+        np.matmul(V, u, out=M)
+        # inverse transform in place: rows of AT M, then the four
+        # 2x2-quadrant planes land in the freed M4[2]/M4[3] rows
+        for j in range(4):
+            np.add(M4[0, j], M4[1, j], out=M4[0, j])
+            M4[0, j] += M4[2, j]
+            np.subtract(M4[1, j], M4[2, j], out=M4[1, j])
+            M4[1, j] -= M4[3, j]
+        np.add(M4[0, 0], M4[0, 1], out=M4[2, 0])
+        M4[2, 0] += M4[0, 2]
+        np.subtract(M4[0, 1], M4[0, 2], out=M4[2, 1])
+        M4[2, 1] -= M4[0, 3]
+        np.add(M4[1, 0], M4[1, 1], out=M4[2, 2])
+        M4[2, 2] += M4[1, 2]
+        np.subtract(M4[1, 1], M4[1, 2], out=M4[2, 3])
+        M4[2, 3] -= M4[1, 3]
+    phases.append(("conv", transform))
+
+    quads = [M4[2, i].reshape(n, th, tw, f) for i in range(4)]
+    if pool is not None:
+        # A 2x2/s2 pool window is exactly one output tile: max the four
+        # quadrant planes, then bias+ReLU on the 4x-smaller pooled crop.
+        ph, pw = out.shape[1], out.shape[2]
+        pooled = quads[0][:, :ph, :pw]
+
+        def pool_fn(quads=quads, pooled=pooled, out=out, bias=bias,
+                    relu=relu):
+            np.maximum(quads[0], quads[1], out=quads[0])
+            np.maximum(quads[2], quads[3], out=quads[2])
+            np.maximum(quads[0], quads[2], out=quads[0])
+            if bias is not None:
+                np.add(pooled, bias, out=out)
+            else:
+                np.copyto(out, pooled)
+            if relu:
+                np.maximum(out, 0.0, out=out)
+        phases.append(("pooling", pool_fn))
+        return _compose(phases)
+
+    writes = []
+    for (a, b), quad in zip(((0, 0), (0, 1), (1, 0), (1, 1)), quads):
+        rows, colw = (ho - a + 1) // 2, (wo - b + 1) // 2
+        writes.append((quad[:, :rows, :colw], out[:, a::2, b::2]))
+
+    def scatter(writes=writes, out=out, bias=bias, relu=relu):
+        for quad, tgt in writes:
+            if bias is not None:
+                np.add(quad, bias, out=tgt)
+            else:
+                np.copyto(tgt, quad)
+        if relu:
+            np.maximum(out, 0.0, out=out)
+    phases.append(("conv", scatter))
+    return _compose(phases)
+
+
+def bind_conv(variant: str, *, src: np.ndarray, out: np.ndarray,
+              scratch: np.ndarray, k: int, stride: int, pad: int,
+              relu: bool, pool: tuple[int, int] | None = None,
+              w_pack: np.ndarray | None = None,
+              wg_pack: tuple | None = None):
+    """Bind one conv (optionally with a fused 2x2/s2 max pool) to views.
+
+    variant : 'im2col' (one-shot gather + GEMM), 'im2col_tiled'
+              (block-row implicit GEMM, cache-resident columns), or
+              'winograd23' (F(2x2,3x3), 2.25x fewer GEMM MACs).
+    src     : NHWC input view; out: NHWC output view (pooled dims when
+              ``pool`` is set); scratch: flat per-program scratch slice
+              sized by :func:`conv_scratch_elems` for this variant.
+    w_pack  : im2col-packed weights (bias ones-column layout) for the
+              GEMM variants; wg_pack: ``(U, bias)`` for winograd23.
+    Returns ``fn(acc=None)`` — see the phase-attribution note above.
+    """
+    if pool is not None and tuple(pool) != (2, 2):
+        raise ValueError("only 2x2/stride-2 pools fuse into conv kernels")
+    if variant == "im2col":
+        return _bind_conv_im2col(src, out, scratch, w_pack, k, stride, pad,
+                                 relu, pool)
+    if variant == "im2col_tiled":
+        return _bind_conv_tiled(src, out, scratch, w_pack, k, stride, pad,
+                                relu, pool)
+    if variant == "winograd23":
+        if k != 3 or stride != 1:
+            raise ValueError("winograd23 requires 3x3 stride-1 convolution")
+        return _bind_conv_winograd23(src, out, scratch, wg_pack, pad, relu,
+                                     pool)
+    raise ValueError(f"unknown conv variant {variant!r}")

@@ -158,7 +158,8 @@ def _trace_conv(t: _Tracer, module: Conv2d, prev: str,
         params["bias"] = module.bias.data
     name = t.emit(
         t.fresh("conv"), OpType.CONV2D, (prev,), (module.out_channels, ho, wo),
-        attrs={"in_channels": c, "kernel": k, "stride": s, "padding": p,
+        attrs={"in_channels": c, "out_channels": module.out_channels,
+               "kernel": k, "stride": s, "padding": p,
                "in_size": h, "in_h": h, "in_w": w,
                "bias": module.bias is not None},
         params=params,

@@ -59,6 +59,7 @@ def measure_latency_ms(
     warmup: int = 1,
     backend: str = "eager",
     seed: int = 0,
+    quant: str = "float32",
 ) -> float:
     """Wall-clock inference latency (ms) for one sampled architecture.
 
@@ -74,7 +75,11 @@ def measure_latency_ms(
     (:mod:`repro.engine`) instead of the eager autograd path, so a
     latency-constrained search can rank candidates by their deployed
     cost.  Compilation happens before the warmup passes and is not
-    counted.
+    counted.  ``quant`` (engine backend only) measures the program under
+    a reduced-precision mode (``"float16"``/``"int8"``) so a search can
+    rank candidates by their quantized deployment latency; latency is
+    accuracy-agnostic, so the accuracy gate for the mode is applied
+    separately (:func:`repro.engine.quantize_with_accuracy_gate`).
     """
     import numpy as np
 
@@ -85,6 +90,8 @@ def measure_latency_ms(
         raise ValueError("repeats must be >= 1")
     if backend not in ("eager", "engine"):
         raise ValueError(f"unknown backend {backend!r}; use 'eager' or 'engine'")
+    if quant != "float32" and backend != "engine":
+        raise ValueError("quant modes require backend='engine'")
     rng = np.random.default_rng(seed)
     model = SPPNetDetector(config)
     model.eval()
@@ -95,7 +102,7 @@ def measure_latency_ms(
     if backend == "engine":
         from ..engine import compiled_for
 
-        compiled = compiled_for(model)
+        compiled = compiled_for(model, quant=quant)
         run = lambda: compiled.predict(images, batch_size=batch)  # noqa: E731
     else:
         run = lambda: predict(model, images, batch_size=batch)  # noqa: E731

@@ -89,18 +89,39 @@ class TestFusion:
         # rides a pool; neither survives as a standalone step.
         assert "relu" not in kinds
         assert "flatten" not in kinds
-        assert {"conv", "linear", "sigmoid"} <= kinds
+        assert {"conv_pool", "linear", "sigmoid"} <= kinds
 
-    def test_conv_relu_defers_to_following_pool(self):
+    def test_trunk_chain_fuses_into_conv_pool(self):
+        # The SPP-Net trunk pattern conv->relu->pool(2x2/s2) lowers to a
+        # single conv_pool step covering all three IR nodes; neither the
+        # conv output nor the standalone pool survives as a planned
+        # tensor.
         model = SPPNetDetector(small_config(), seed=0)
         traced = trace(model, (4, 32, 32))
+        steps = fuse_graph(traced.graph, traced.outputs)
+        fused = [s for s in steps if s.kind == "conv_pool"]
+        assert len(fused) == 2  # both trunk stages
+        for s in fused:
+            assert s.attrs["relu"] is True
+            assert s.attrs["pool_kernel"] == 2
+            assert s.attrs["pool_stride"] == 2
+            assert len(s.covers) == 3
+            # Result is named after the pool node so downstream
+            # consumers resolve unchanged.
+            assert s.name.startswith("pool")
+        assert not any(s.kind == "conv" for s in steps)
+
+    def test_conv_relu_defers_to_unfusable_pool(self):
+        # A pool that is not 2x2/s2 cannot ride the conv kernel; ReLU
+        # still commutes with max pooling, so it runs on the pooled
+        # (k^2-smaller) tensor, not on the conv output.
+        net = Sequential(Conv2d(3, 8, 3), ReLU(), MaxPool2d(3, 3))
+        traced = trace(net, (3, 17, 17))
         steps = {s.name: s for s in fuse_graph(traced.graph, traced.outputs)}
         convs = [s for s in steps.values() if s.kind == "conv"]
         pools = [s for s in steps.values()
                  if s.kind in ("maxpool", "maxpool_flatten")]
         assert convs and pools
-        # ReLU commutes with max pooling, so it runs on the pooled
-        # (k^2-smaller) tensor, not on the conv output.
         assert all(not s.attrs["relu"] for s in convs)
         assert all(s.attrs["relu"] for s in pools)
 
@@ -115,7 +136,8 @@ class TestFusion:
         model = SPPNetDetector(small_config(), seed=0)
         traced = trace(model, (4, 32, 32))
         steps = fuse_graph(traced.graph, traced.outputs)
-        assert all(s.scratch_elems > 0 for s in steps if s.kind == "conv")
+        assert all(s.scratch_elems > 0 for s in steps
+                   if s.kind in ("conv", "conv_pool"))
 
 
 class TestGenericModules:

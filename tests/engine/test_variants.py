@@ -1,0 +1,216 @@
+"""Conv kernel variants: equivalence, fused pooling, and the autotuner."""
+
+import numpy as np
+import pytest
+
+from repro.arch import ConvSpec, PoolSpec, SPPNetConfig
+from repro.detect.sppnet import SPPNetDetector
+from repro.engine import CompiledModel
+from repro.engine.autotune import (
+    CONV_VARIANTS,
+    ConvKey,
+    choose_variant,
+    eligible_variants,
+)
+from repro.engine.kernels import (
+    bind_conv,
+    conv_out_hw,
+    conv_scratch_elems,
+    pack_conv_weight,
+    winograd23_pack_weight,
+)
+from repro.tensor import Tensor, no_grad
+from repro.tensor.modules import Conv2d, MaxPool2d, ReLU, Sequential
+
+
+def small_config(kernel=3):
+    return SPPNetConfig(
+        convs=(ConvSpec(8, kernel, 1), ConvSpec(16, 3, 1)),
+        pools=(PoolSpec(2, 2), PoolSpec(2, 2)),
+        spp_levels=(2, 1), fc_sizes=(32,), in_channels=4,
+    )
+
+
+def run_variant(variant, *, batch=2, h=13, w=11, c=3, f=8, k=3, stride=1,
+                pad=0, relu=True, pool=None, bias=True, seed=0):
+    """Bind one conv kernel on standalone buffers and run it."""
+    rng = np.random.default_rng(seed)
+    src = rng.standard_normal((batch, h, w, c)).astype(np.float32)
+    weight = rng.standard_normal((f, c, k, k)).astype(np.float32)
+    b_vec = rng.standard_normal(f).astype(np.float32) if bias else None
+    ho, wo = conv_out_hw(h, w, k, stride, pad)
+    out_hw = (ho // 2, wo // 2) if pool else (ho, wo)
+    out = np.empty((batch,) + out_hw + (f,), dtype=np.float32)
+    scratch = np.empty(batch * conv_scratch_elems(
+        variant, batch=batch, h=h, w=w, c_in=c, out_channels=f, kernel=k,
+        stride=stride, padding=pad, bias=bias, pool=pool is not None),
+        dtype=np.float32)
+    fn = bind_conv(
+        variant, src=src, out=out, scratch=scratch, k=k, stride=stride,
+        pad=pad, relu=relu, pool=pool,
+        w_pack=pack_conv_weight(weight, b_vec, np.dtype(np.float32)),
+        wg_pack=(winograd23_pack_weight(weight, np.dtype(np.float32))
+                 if k == 3 and stride == 1 else None, b_vec))
+    fn()
+    return out
+
+
+class TestKernelEquivalence:
+    """im2col is the reference; the other variants must match it."""
+
+    @pytest.mark.parametrize("variant", ["im2col_tiled", "winograd23"])
+    @pytest.mark.parametrize("pool", [None, (2, 2)])
+    @pytest.mark.parametrize("pad", [0, 1])
+    def test_3x3_stride1(self, variant, pool, pad):
+        kw = dict(h=14, w=12, c=5, f=7, k=3, stride=1, pad=pad, pool=pool)
+        ref = run_variant("im2col", **kw)
+        got = run_variant(variant, **kw)
+        np.testing.assert_allclose(got, ref, atol=2e-5, rtol=1e-4)
+
+    @pytest.mark.parametrize("k,stride", [(5, 1), (3, 2), (1, 1)])
+    def test_tiled_other_geometries(self, k, stride):
+        kw = dict(h=17, w=15, c=4, f=6, k=k, stride=stride, pad=0)
+        ref = run_variant("im2col", **kw)
+        got = run_variant("im2col_tiled", **kw)
+        np.testing.assert_allclose(got, ref, atol=2e-5, rtol=1e-4)
+
+    def test_without_bias_and_relu(self):
+        kw = dict(h=10, w=10, c=3, f=4, bias=False, relu=False)
+        ref = run_variant("im2col", **kw)
+        for variant in ("im2col_tiled", "winograd23"):
+            np.testing.assert_allclose(
+                run_variant(variant, **kw), ref, atol=2e-5, rtol=1e-4)
+
+    def test_odd_output_with_fused_pool(self):
+        # 13x11 input -> 11x9 conv output -> 5x4 pooled: the pool floors
+        # away the odd edge, which trips any kernel that pools a padded
+        # Winograd tile without cropping first.
+        kw = dict(h=13, w=11, c=3, f=8, pool=(2, 2))
+        ref = run_variant("im2col", **kw)
+        for variant in ("im2col_tiled", "winograd23"):
+            np.testing.assert_allclose(
+                run_variant(variant, **kw), ref, atol=2e-5, rtol=1e-4)
+
+    def test_winograd_rejects_non_3x3(self):
+        with pytest.raises(ValueError):
+            run_variant("winograd23", k=5)
+        with pytest.raises(ValueError):
+            run_variant("winograd23", k=3, stride=2)
+
+    def test_unknown_variant_rejected(self):
+        with pytest.raises(ValueError):
+            run_variant("fft")
+
+
+class TestCompiledEquivalence:
+    """Every variant must produce eager-equivalent full-model outputs."""
+
+    @pytest.mark.parametrize("variant", CONV_VARIANTS)
+    def test_forced_variant_matches_eager(self, variant, monkeypatch):
+        monkeypatch.setenv("REPRO_CONV_VARIANT", variant)
+        from repro.detect.predict import predict
+
+        model = SPPNetDetector(small_config(), seed=3)
+        model.eval()
+        x = np.random.default_rng(0).standard_normal(
+            (3, 4, 32, 32)).astype(np.float32)
+        conf, boxes = predict(model, x, batch_size=3)
+        compiled = CompiledModel(model, (4, 32, 32))
+        eng_conf, eng_boxes = compiled.predict(x, batch_size=3)
+        np.testing.assert_allclose(eng_conf, conf, atol=1e-4, rtol=1e-3)
+        np.testing.assert_allclose(eng_boxes, boxes, atol=1e-4, rtol=1e-3)
+
+    @pytest.mark.parametrize("variant", CONV_VARIANTS)
+    def test_forced_variant_padded_conv(self, variant, monkeypatch):
+        monkeypatch.setenv("REPRO_CONV_VARIANT", variant)
+        net = Sequential(Conv2d(3, 8, 3, padding=1), ReLU(), MaxPool2d(2, 2))
+        net.eval()
+        x = np.random.default_rng(1).standard_normal(
+            (2, 3, 10, 10)).astype(np.float32)
+        with no_grad():
+            eager = net(Tensor(x)).data
+        compiled = CompiledModel(net, (3, 10, 10))
+        np.testing.assert_allclose(compiled(x), eager, atol=1e-4, rtol=1e-3)
+
+    def test_kernel_choices_reported(self):
+        model = SPPNetDetector(small_config(), seed=3)
+        model.eval()
+        compiled = CompiledModel(model, (4, 32, 32))
+        compiled.predict(np.zeros((1, 4, 32, 32), dtype=np.float32))
+        choices = compiled.kernel_choices(batch=1)
+        assert choices  # one entry per conv step
+        assert all(v in CONV_VARIANTS for v in choices.values())
+
+
+def key(**overrides):
+    base = dict(batch=1, height=32, width=32, in_channels=4, out_channels=8,
+                kernel=3, stride=1, padding=0, pool=True, dtype="float32",
+                mode="float32")
+    base.update(overrides)
+    return ConvKey(**base)
+
+
+class TestAutotuner:
+    def test_eligibility(self):
+        assert eligible_variants(key()) == CONV_VARIANTS
+        assert "winograd23" not in eligible_variants(key(kernel=5))
+        assert "winograd23" not in eligible_variants(key(stride=2))
+        assert eligible_variants(key(mode="int8")) == ("im2col",)
+
+    def test_choice_is_fastest_and_sticky(self):
+        cache = {}
+        made = []
+
+        def make_kernel(variant):
+            made.append(variant)
+            return variant
+
+        rigged = {"im2col": 3.0, "im2col_tiled": 1.0, "winograd23": 2.0}
+        k = key()
+        first = choose_variant(k, make_kernel, bench=rigged.get, cache=cache)
+        assert first == "im2col_tiled"
+        assert set(made) == set(CONV_VARIANTS)
+        # Second call: memoized, no kernels rebuilt, even with timings
+        # rigged the other way.
+        made.clear()
+        flipped = {"im2col": 1.0, "im2col_tiled": 3.0, "winograd23": 2.0}
+        again = choose_variant(k, make_kernel, bench=flipped.get, cache=cache)
+        assert again == "im2col_tiled"
+        assert made == []
+
+    def test_tie_breaks_to_first_listed(self):
+        cache = {}
+        flat = dict.fromkeys(CONV_VARIANTS, 1.0)
+        choice = choose_variant(key(), lambda v: v, bench=flat.get,
+                                cache=cache)
+        assert choice == "im2col"
+
+    def test_distinct_keys_tuned_independently(self):
+        cache = {}
+        rigged = {"im2col": 3.0, "im2col_tiled": 1.0, "winograd23": 2.0}
+        choose_variant(key(), lambda v: v, bench=rigged.get, cache=cache)
+        choose_variant(key(batch=20), lambda v: v,
+                       bench={"im2col": 0.5, "im2col_tiled": 3.0,
+                              "winograd23": 2.0}.get, cache=cache)
+        assert cache[key()] == "im2col_tiled"
+        assert cache[key(batch=20)] == "im2col"
+
+    def test_env_override_bypasses_cache(self, monkeypatch):
+        cache = {key(): "im2col"}
+        monkeypatch.setenv("REPRO_CONV_VARIANT", "winograd23")
+        choice = choose_variant(key(), lambda v: v,
+                                bench=lambda fn: 0.0, cache=cache)
+        assert choice == "winograd23"
+        assert cache[key()] == "im2col"  # override never cached
+
+    def test_env_override_ignored_when_ineligible(self, monkeypatch):
+        # int8 pins im2col; a forced winograd must not apply there.
+        monkeypatch.setenv("REPRO_CONV_VARIANT", "winograd23")
+        choice = choose_variant(key(mode="int8"), lambda v: v,
+                                bench=lambda fn: 0.0, cache={})
+        assert choice == "im2col"
+
+    def test_env_override_unknown_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CONV_VARIANT", "fft")
+        with pytest.raises(ValueError):
+            choose_variant(key(), lambda v: v, bench=lambda fn: 0.0, cache={})
