@@ -1,33 +1,43 @@
-"""Whole-scene scan throughput: streaming tiler, engine, and sharded workers.
+"""Whole-scene scan throughput: streaming tiler, engine, and warm worker pool.
 
 The deployment unit of the paper's detector is not one chip but one
 *scene*: thousands of overlapping windows swept across a watershed
-raster.  This benchmark measures that sweep three ways on the same
-scene —
+raster.  This benchmark measures that sweep on the same scene —
 
-* sequential eager   : the streaming :class:`~repro.scanpar.TileSource`
-  path through the autograd backend (the floor);
-* sequential engine  : same single process, compiled engine backend;
+* sequential eager / sequential engine : the streaming
+  :class:`~repro.scanpar.TileSource` path in one process (the floor and
+  the compiled baseline);
 * parallel eager / parallel engine :
   :func:`~repro.scanpar.parallel_scan_scene` with shared-memory
-  sharding and engine-warm workers.
+  sharding, measured both *cold* (private pool: worker spawn + model
+  send + engine warmup inside the timed region) and *warm* (the
+  persistent shared pool, workers already holding the deserialized
+  model and its warmed engine);
+* auto : ``n_workers="auto"`` — the adaptive policy picks the worker
+  count from CPU affinity and scene size, inlining to sequential when
+  parallelism cannot win; the chosen count is reported in the payload.
 
 Every parallel configuration is parity-checked against the sequential
 scan of the same backend — the scanpar determinism contract says
-detections and coverage must match exactly — and the streaming
-tiler's bounded batch buffer is recorded
-against the bytes the old materialize-everything scan would have
-allocated.  Emits ``BENCH_scan.json``.
+detections and coverage must match exactly — and the pool's win is
+made explicit as ``parallel_overhead_ms`` (cold minus warm scan time:
+what the persistent pool saves every scan after the first).  The
+streaming tiler's bounded batch buffer is recorded against the bytes
+the old materialize-everything scan would have allocated.  Emits
+``BENCH_scan.json``.
 
 The speedup gate is honest about hardware: sharding cannot beat the
-sequential scan on a single-core runner, so ``--gate auto`` (default)
-enforces the >= 2x parallel speedup only when at least two cores are
-visible and falls back to parity-only otherwise; CI's shared runners
-pin ``--gate parity`` explicitly.
+sequential scan on a single-core runner, so ``--gate-mode auto``
+(default, what CI runs) enforces the warm-pool speedup gates only when
+at least two cores are visible and falls back to parity-only
+otherwise.  The auto row's never-slower gate applies everywhere: the
+adaptive policy must not lose to the sequential engine scan by more
+than timing noise on any core count.
 
 Usage::
 
-    python benchmarks/bench_scan.py [--scene-size N] [--gate MODE] [--out PATH]
+    python benchmarks/bench_scan.py [--scene-size N] [--gate-mode MODE]
+                                    [--out PATH]
 
 Also collectable by pytest (``pytest benchmarks/bench_scan.py``).
 """
@@ -39,7 +49,14 @@ from repro.arch import ConvSpec, PoolSpec, SPPNetConfig
 from repro.detect import SPPNetDetector, scan_scene
 from repro.detect.scan import scan_origins
 from repro.geo import WatershedConfig, build_scene
-from repro.scanpar import TileSource, parallel_scan_scene
+from repro.scanpar import (
+    TileSource,
+    default_start_method,
+    parallel_scan_scene,
+    resolve_n_workers,
+    spawn_cost_ms,
+    warm_pool,
+)
 
 from gates import bench_arg_parser, check, evaluate, finish
 
@@ -48,7 +65,9 @@ WINDOW = 64
 STRIDE = 32
 BATCH_SIZE = 20
 CONFIDENCE = 0.3
-SPEEDUP_GATE = 2.0   # parallel engine vs sequential eager, >= 2 workers
+SPEEDUP_GATE = 2.0        # warm parallel engine vs sequential eager
+POOL_SPEEDUP_GATE = 1.3   # warm parallel engine vs sequential engine
+AUTO_FLOOR = 0.95         # auto row may never lose > 5% to sequential engine
 
 ARCH = SPPNetConfig(
     convs=(ConvSpec(8, 3, 1),), pools=(PoolSpec(2, 2),),
@@ -68,13 +87,21 @@ def make_scene(size: int = SCENE_SIZE):
                                        stream_threshold=600, seed=5))
 
 
-def timed_scan(model, scene, n_tiles: int, **kwargs) -> tuple[float, object]:
-    """(tiles/second, ScanDetections) for one scan configuration."""
+def timed_scan(model, scene, n_tiles: int,
+               **kwargs) -> tuple[float, float, object]:
+    """(tiles/second, elapsed ms, ScanDetections) for one configuration.
+
+    ``reuse_pool=False`` (the cold-pool row) is a
+    :func:`parallel_scan_scene` knob that :func:`scan_scene` does not
+    forward, so that row calls the parallel scanner directly.
+    """
+    fn = scan_scene if "reuse_pool" not in kwargs else parallel_scan_scene
     start = time.perf_counter()
-    result = scan_scene(model, scene, window=WINDOW, stride=STRIDE,
-                        confidence_threshold=CONFIDENCE,
-                        batch_size=BATCH_SIZE, **kwargs)
-    return n_tiles / (time.perf_counter() - start), result
+    result = fn(model, scene, window=WINDOW, stride=STRIDE,
+                confidence_threshold=CONFIDENCE,
+                batch_size=BATCH_SIZE, **kwargs)
+    elapsed = time.perf_counter() - start
+    return n_tiles / elapsed, elapsed * 1e3, result
 
 
 def run_benchmark(scene_size: int = SCENE_SIZE,
@@ -84,8 +111,13 @@ def run_benchmark(scene_size: int = SCENE_SIZE,
     scene = make_scene(scene_size)
     origins = scan_origins(scene.size, WINDOW, STRIDE)
     n_tiles = len(origins)
-    if n_workers is None:
-        n_workers = min(4, max(2, cpu_count()))
+
+    # what the adaptive policy would pick for this scene on this box;
+    # the forced count keeps the parity rows on the parallel path even
+    # on a single-core runner where "auto" correctly inlines
+    auto_n = resolve_n_workers("auto", n_origins=n_tiles,
+                               batch_size=BATCH_SIZE)
+    forced = n_workers if n_workers is not None else max(2, auto_n)
 
     # warm both backends outside the timed region (first engine call
     # pays graph tracing; first eager call pays allocator warmup)
@@ -97,34 +129,67 @@ def run_benchmark(scene_size: int = SCENE_SIZE,
     # reproduce the sequential scan of the same backend exactly (engine
     # and eager legitimately differ in low-order float bits, so a
     # cross-backend comparison would only measure kernel fusion).
+    #
+    # Row order is deliberate: the cold row runs with a private
+    # throwaway pool (reuse_pool=False) *before* any shared-pool row,
+    # then "parallel-engine-warmup" populates the shared pool outside
+    # the warm measurement, so "parallel-engine" times a pool whose
+    # workers already hold the model and its warmed engine.
     configs = [
         {"label": "sequential-eager", "backend": "eager", "n_workers": 1},
-        {"label": "parallel-eager", "backend": "eager",
-         "n_workers": n_workers},
-        {"label": "sequential-engine", "backend": "engine", "n_workers": 1},
+        {"label": "parallel-eager", "backend": "eager", "n_workers": forced},
+        {"label": "sequential-engine", "backend": "engine", "n_workers": 1,
+         "repeats": 3},
+        # adjacent to its reference so the never-slower ratio compares
+        # back-to-back runs, not runs separated by pool traffic
+        {"label": "auto-engine", "backend": "engine", "n_workers": "auto",
+         "repeats": 3},
+        {"label": "parallel-engine-cold", "backend": "engine",
+         "n_workers": forced, "reuse_pool": False},
+        {"label": "parallel-engine-warmup", "backend": "engine",
+         "n_workers": forced, "report": False},
         {"label": "parallel-engine", "backend": "engine",
-         "n_workers": n_workers},
+         "n_workers": forced, "repeats": 2},
     ]
     sequential: dict[str, object] = {}
     rows = []
+    eager_tps = None
     for cfg in configs:
-        tps, result = timed_scan(model, scene, n_tiles,
-                                 backend=cfg["backend"],
-                                 n_workers=cfg["n_workers"])
+        kwargs = {"backend": cfg["backend"], "n_workers": cfg["n_workers"]}
+        if "reuse_pool" in cfg:
+            kwargs["reuse_pool"] = cfg["reuse_pool"]
+        # best-of-N for the rows whose *ratios* gate (timing noise on a
+        # loaded runner must not fail the never-slower / speedup checks)
+        tps, elapsed_ms, result = timed_scan(model, scene, n_tiles, **kwargs)
+        for _ in range(cfg.get("repeats", 1) - 1):
+            tps2, elapsed2, _ = timed_scan(model, scene, n_tiles, **kwargs)
+            if tps2 > tps:
+                tps, elapsed_ms = tps2, elapsed2
         reference = sequential.setdefault(cfg["backend"], result)
+        if not cfg.get("report", True):
+            continue
+        if eager_tps is None:
+            eager_tps = tps
         rows.append({
             "label": cfg["label"],
             "backend": cfg["backend"],
             "n_workers": cfg["n_workers"],
             "tiles_per_s": tps,
-            "speedup_vs_sequential_eager": tps / rows[0]["tiles_per_s"]
-            if rows else 1.0,
+            "elapsed_ms": elapsed_ms,
+            "speedup_vs_sequential_eager": tps / eager_tps,
             "matches_sequential_same_backend": (
                 list(result) == list(reference)
                 and result.coverage == reference.coverage
             ),
             "n_detections": len(result),
         })
+
+    by_label = {row["label"]: row for row in rows}
+    overhead_ms = (by_label["parallel-engine-cold"]["elapsed_ms"]
+                   - by_label["parallel-engine"]["elapsed_ms"])
+
+    method = default_start_method()
+    pool = warm_pool(method)
 
     # memory story: the streaming tiler's reusable batch buffer vs the
     # (n_tiles, C, window, window) stack the old scan materialized
@@ -141,7 +206,15 @@ def run_benchmark(scene_size: int = SCENE_SIZE,
         "batch_size": BATCH_SIZE,
         "n_tiles": n_tiles,
         "cpu_count": cpu_count(),
-        "n_workers": n_workers,
+        "n_workers_auto": auto_n,
+        "n_workers_forced": forced,
+        "parallel_overhead_ms": overhead_ms,
+        "pool": {
+            "start_method": method,
+            "spawn_ms": pool.spawn_ms if pool is not None else None,
+            "spawn_cost_ms_estimate": spawn_cost_ms(method),
+            "stats": dict(pool.stats) if pool is not None else None,
+        },
         "configs": rows,
         "tile_buffer_bytes": {
             "streaming": streaming_bytes,
@@ -155,9 +228,11 @@ def payload_checks(payload: dict, mode: str) -> list:
     """Gate criteria for one scan payload.
 
     ``mode`` follows the module docstring: ``speedup`` additionally
-    enforces the >= 2x parallel gate, ``parity`` checks determinism
-    only, ``auto`` picks by visible core count.
+    enforces the warm-pool speedup gates, ``parity`` checks determinism
+    only, ``auto`` picks by visible core count.  Parity, the pool-
+    overhead sign, and the auto never-slower floor gate in every mode.
     """
+    by_label = {row["label"]: row for row in payload["configs"]}
     checks = [
         check(f"{row['label']}_matches_sequential",
               row["matches_sequential_same_backend"], "bool")
@@ -166,21 +241,33 @@ def payload_checks(payload: dict, mode: str) -> list:
     checks.append(check(
         "streaming_buffer_reduction_x",
         payload["tile_buffer_bytes"]["reduction_x"], ">=", 2.0))
+    # machine-absolute timings: tracked for sign/floor, not for drift
+    checks.append(check("parallel_overhead_ms",
+                        payload["parallel_overhead_ms"], ">=", 0.0,
+                        track=False))
+    auto_ratio = (by_label["auto-engine"]["tiles_per_s"]
+                  / by_label["sequential-engine"]["tiles_per_s"])
+    checks.append(check("auto_vs_sequential_engine",
+                        auto_ratio, ">=", AUTO_FLOOR, track=False))
     if mode == "auto":
         mode = "speedup" if payload["cpu_count"] >= 2 else "parity"
     if mode == "speedup":
-        par = next(r for r in payload["configs"]
-                   if r["label"] == "parallel-engine")
+        warm = by_label["parallel-engine"]
         checks.append(check("parallel_engine_speedup_vs_sequential_eager",
-                            par["speedup_vs_sequential_eager"],
+                            warm["speedup_vs_sequential_eager"],
                             ">=", SPEEDUP_GATE))
+        pool_ratio = (warm["tiles_per_s"]
+                      / by_label["sequential-engine"]["tiles_per_s"])
+        checks.append(check("parallel_engine_speedup_vs_sequential_engine",
+                            pool_ratio, ">=", POOL_SPEEDUP_GATE))
     return checks
 
 
 def test_scan_configurations_agree():
     """Acceptance: every scan configuration reproduces the sequential
-    eager scan exactly, and the streaming tiler bounds its buffer.  The
-    >= 2x parallel speedup additionally gates when cores allow."""
+    scan of its backend exactly, the persistent pool beats a cold pool,
+    the auto policy never loses to the sequential engine scan, and the
+    warm-pool speedup gates additionally apply when cores allow."""
     payload = run_benchmark(scene_size=256)
     assert evaluate(payload_checks(payload, "auto")) == []
 
@@ -189,10 +276,11 @@ def main() -> None:
     parser = bench_arg_parser(__doc__, "BENCH_scan.json")
     parser.add_argument("--scene-size", type=int, default=SCENE_SIZE)
     parser.add_argument("--workers", type=int, default=None,
-                        help="parallel worker count (default: min(4, cores))")
+                        help="forced parallel worker count for the parity "
+                        "rows (default: max(2, auto))")
     parser.add_argument("--gate-mode", choices=("auto", "speedup", "parity"),
                         default="auto",
-                        help="speedup enforces the >= 2x parallel gate; "
+                        help="speedup enforces the warm-pool speedup gates; "
                         "parity checks determinism only; auto picks by "
                         "visible core count")
     args = parser.parse_args()
@@ -200,11 +288,17 @@ def main() -> None:
     payload = run_benchmark(args.scene_size, args.workers)
 
     print(f"scene {payload['scene_size']}px, {payload['n_tiles']} tiles, "
-          f"{payload['cpu_count']} cpu(s)")
+          f"{payload['cpu_count']} cpu(s), auto -> "
+          f"{payload['n_workers_auto']} worker(s), forced "
+          f"{payload['n_workers_forced']}")
     for row in payload["configs"]:
         parity = "ok" if row["matches_sequential_same_backend"] else "MISMATCH"
-        print(f"{row['label']:<18s}: {row['tiles_per_s']:8.1f} tiles/s  "
+        print(f"{row['label']:<20s}: {row['tiles_per_s']:8.1f} tiles/s  "
               f"({row['speedup_vs_sequential_eager']:4.2f}x)  parity={parity}")
+    pool = payload["pool"]
+    print(f"pool              : start_method={pool['start_method']} "
+          f"spawn_ms={pool['spawn_ms']} warm saves "
+          f"{payload['parallel_overhead_ms']:.1f} ms/scan")
     mem = payload["tile_buffer_bytes"]
     print(f"tile buffer       : {mem['streaming']:,} B streaming vs "
           f"{mem['materialized']:,} B materialized "

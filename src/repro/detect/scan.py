@@ -209,7 +209,8 @@ def scan_scene(
     sanitize: "SanitizePolicy | None" = None,
     journal: "ScanJournal | str | None" = None,
     resume: bool = False,
-    n_workers: int = 1,
+    n_workers: int | str = 1,
+    pool=None,
 ) -> ScanDetections:
     """Detect crossings across a whole scene.
 
@@ -220,11 +221,16 @@ def scan_scene(
 
     Tiles stream through a reused micro-batch buffer, so peak tile
     memory is ``batch_size * bands * window**2`` floats however large
-    the scene.  ``n_workers > 1`` runs the scan sharded across worker
-    processes (:func:`repro.scanpar.parallel_scan_scene`): the scene
-    raster is shared zero-copy, each worker warms the compiled engine
-    once for its shard, and the merged result is byte-identical to this
-    sequential scan.
+    the scene.  ``n_workers > 1`` (or ``"auto"``, which derives the
+    count from CPU affinity and scene size and inlines to sequential
+    when parallelism cannot win) runs the scan sharded across the
+    persistent warm worker pool
+    (:func:`repro.scanpar.parallel_scan_scene`): the scene raster is
+    shared zero-copy, pool workers cache the deserialized model and its
+    warmed compiled engine across scans, results return through
+    shared-memory slabs, and the merged result is byte-identical to
+    this sequential scan.  ``pool`` optionally pins the scan to a
+    caller-owned :class:`repro.scanpar.WorkerPool`.
 
     With a ``service`` (:class:`repro.serve.InferenceService`), windows
     are submitted as individual requests instead of one local ``predict``
@@ -250,9 +256,14 @@ def scan_scene(
     :class:`ScanCoverage` (on the non-robust path it simply reports full
     coverage).
     """
-    if n_workers < 1:
+    if isinstance(n_workers, str):
+        if n_workers != "auto":
+            raise ValueError(
+                f"n_workers must be an int >= 1 or 'auto', got {n_workers!r}"
+            )
+    elif n_workers < 1:
         raise ValueError("n_workers must be >= 1")
-    if n_workers > 1:
+    if n_workers == "auto" or n_workers > 1:
         if service is not None:
             raise ValueError(
                 "parallel scanning shards the local model across "
@@ -265,7 +276,7 @@ def scan_scene(
             confidence_threshold=confidence_threshold,
             nms_radius=nms_radius, batch_size=batch_size, backend=backend,
             sanitize=sanitize, journal=journal, resume=resume,
-            n_workers=n_workers,
+            n_workers=n_workers, pool=pool,
         )
 
     n = scene.size

@@ -7,18 +7,36 @@ that scan both memory-bounded and multi-core:
   peak tile memory is one batch, not the whole scene's windows;
 * :func:`partition_origins` — contiguous, micro-batch-aligned row-band
   shards (the alignment is what makes parallel results byte-identical);
-* :class:`SharedArray` — the scene raster in shared memory, read
-  zero-copy by every worker;
-* :func:`parallel_scan_scene` — the sharded scan itself: engine-warm
-  workers, deterministic merge, per-shard journals folded into one
-  resumable journal.
+* :class:`SharedArray` — the scene raster (and the per-shard result
+  slabs) in shared memory, read and written zero-copy by every worker;
+* :class:`WorkerPool` — persistent warm worker processes reused across
+  scans, caching deserialized models (and their warmed compiled-engine
+  programs) by content hash;
+* :func:`parallel_scan_scene` — the sharded scan itself: adaptive
+  ``n_workers="auto"`` policy, engine-warm pooled workers,
+  shared-memory result return, deterministic merge, per-shard journals
+  folded into one resumable journal.
 
 See ``docs/scanning.md`` for the sharding model, the determinism
-contract, and how to pick ``n_workers``/``batch_size``.
+contract, the pool lifecycle, and the adaptive worker policy.
 """
 
-from .parallel import default_start_method, parallel_scan_scene
-from .sharding import Shard, partition_origins
+from .parallel import (
+    cpu_affinity_count,
+    default_start_method,
+    parallel_scan_scene,
+    resolve_n_workers,
+    spawn_cost_ms,
+)
+from .pool import (
+    WorkerError,
+    WorkerPool,
+    get_pool,
+    serialized_model,
+    shutdown_pools,
+    warm_pool,
+)
+from .sharding import Shard, describe_shard, partition_origins
 from .shm import SharedArray, attach_array
 from .tiling import TileSource
 from .worker import ShardTask, run_shard
@@ -27,10 +45,20 @@ __all__ = [
     "TileSource",
     "Shard",
     "partition_origins",
+    "describe_shard",
     "SharedArray",
     "attach_array",
     "ShardTask",
     "run_shard",
+    "WorkerPool",
+    "WorkerError",
+    "get_pool",
+    "warm_pool",
+    "shutdown_pools",
+    "serialized_model",
     "parallel_scan_scene",
     "default_start_method",
+    "resolve_n_workers",
+    "cpu_affinity_count",
+    "spawn_cost_ms",
 ]

@@ -20,7 +20,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-__all__ = ["Shard", "partition_origins"]
+__all__ = ["Shard", "partition_origins", "describe_shard"]
+
+
+def describe_shard(index: int, start: int, stop: int) -> str:
+    """Canonical shard identity string used in worker error context."""
+    return f"shard {index} (origins [{start}:{stop}))"
 
 
 @dataclass(frozen=True)
@@ -34,6 +39,9 @@ class Shard:
     @property
     def size(self) -> int:
         return self.stop - self.start
+
+    def describe(self) -> str:
+        return describe_shard(self.index, self.start, self.stop)
 
 
 def partition_origins(n_origins: int, n_workers: int,

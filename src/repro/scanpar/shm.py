@@ -42,6 +42,20 @@ class SharedArray:
         view = np.ndarray(self.shape, dtype=self.dtype, buffer=self._shm.buf)
         np.copyto(view, array)
 
+    @classmethod
+    def allocate(cls, shape: tuple[int, ...], dtype) -> "SharedArray":
+        """A parent-owned, zero-filled block for workers to *write* into
+        — the result-slab side of the shared-memory protocol (the
+        constructor covers the read side, the scene raster)."""
+        self = cls.__new__(cls)
+        self.shape = tuple(int(d) for d in shape)
+        self.dtype = np.dtype(dtype)
+        nbytes = int(np.prod(self.shape, dtype=np.int64)) * self.dtype.itemsize
+        self._shm = shared_memory.SharedMemory(create=True,
+                                               size=max(nbytes, 1))
+        self.name = self._shm.name
+        return self
+
     def spec(self) -> dict:
         """Picklable description a worker needs to attach."""
         return {"name": self.name, "shape": tuple(self.shape),

@@ -1,13 +1,24 @@
 """Worker-process entry point for sharded scene scanning.
 
 Each worker receives one :class:`ShardTask` — a few ints, the shared
-raster's name, and the pickled model — attaches to the scene in shared
-memory, warms the compiled engine's program cache *once* for the batch
-shapes its shard will actually run, and streams its contiguous origin
-range through the backend.  Non-robust shards return raw
-(confidences, boxes) arrays for the parent to merge; robust shards run
-the per-tile sanitize/quarantine loop from :mod:`repro.detect.scan` and
-journal into a per-shard JSONL file the parent later absorbs.
+raster's name, and the model's content hash (plus its pickled bytes
+only when the worker has not cached it yet), attaches to the scene in
+shared memory, warms the compiled engine's program cache *once* for the
+batch shapes its shard will actually run, and streams its contiguous
+origin range through the backend.
+
+Result return is shared-memory first: non-robust shards write their
+``(confidences, boxes)`` into the parent-allocated result slab named by
+``task.result`` (an ``(n, 5)`` block — column 0 the confidences,
+columns 1:5 the boxes — sized from the shard's origin count), so no
+ndarray is ever pickled back through the pipe; the reply is a small
+metadata dict.  If the backend's output dtype does not match the slab
+(the parent sizes slabs from a per-backend dtype map), the worker falls
+back to returning the arrays inline — correctness never depends on the
+map being right.  Robust shards run the per-tile sanitize/quarantine
+loop from :mod:`repro.detect.scan` and journal into a per-shard JSONL
+file the parent later absorbs; their per-tile records return through
+the pipe as before (small, not ndarrays).
 """
 
 from __future__ import annotations
@@ -31,13 +42,16 @@ class ShardTask:
     start: int                    # origin-list index range [start, stop)
     stop: int
     shm: dict                     # SharedArray.spec() of the scene raster
-    model_bytes: bytes            # pickled detector (weights snapshot)
     scene_size: int
     window: int
     stride: int
     batch_size: int
     backend: str
     confidence_threshold: float
+    model_hash: str | None = None     # worker-side model cache key
+    model_bytes: bytes | None = None  # pickled detector (cache-miss fill)
+    result: dict | None = None        # SharedArray.spec() of the (n, 5)
+    #                                   result slab (non-robust shards)
     robust: bool = False
     policy: object | None = None          # SanitizePolicy (robust only)
     journal_path: str | None = None       # shard journal (robust only)
@@ -45,10 +59,32 @@ class ShardTask:
     skip: frozenset = field(default_factory=frozenset)  # resumed indices
 
 
+def _resolve_model(task: ShardTask, cache: dict | None) -> tuple[object, bool]:
+    """(model, came_from_cache).  Pool workers pass their long-lived
+    cache — the same model object (and therefore the same warmed
+    ``compiled_for`` program cache) survives across scans."""
+    if cache is not None and task.model_hash is not None:
+        model = cache.get(task.model_hash)
+        if model is not None:
+            return model, True
+    if task.model_bytes is None:
+        raise RuntimeError(
+            f"model {task.model_hash!r} is not in this worker's cache and "
+            f"the task carries no model bytes; call pool.ensure_model() "
+            f"before pool.run()"
+        )
+    model = pickle.loads(task.model_bytes)
+    if cache is not None and task.model_hash is not None:
+        cache[task.model_hash] = model
+    return model, False
+
+
 def _warm_engine(model, channels: int, window: int,
                  batch_sizes: list[int]) -> float:
     """Pre-build the engine programs this shard will execute; returns
-    the warmup milliseconds (compile paid once, not per batch)."""
+    the warmup milliseconds (compile paid once per worker process — and,
+    with a persistent pool, once per model *lifetime*, because warmup of
+    an already-cached program costs nothing)."""
     from ..engine import compiled_for
 
     model.eval()
@@ -56,15 +92,20 @@ def _warm_engine(model, channels: int, window: int,
     return compiled.warmup(batch_sizes, (channels, window, window))
 
 
-def run_shard(task: ShardTask) -> dict:
-    """Scan one shard; returns a picklable result payload."""
+def run_shard(task: ShardTask, model_cache: dict | None = None) -> dict:
+    """Scan one shard; returns a small picklable result payload.
+
+    ``model_cache`` is the pool worker's hash-keyed model cache; one-shot
+    callers may omit it (the model is then unpickled from
+    ``task.model_bytes`` every call, PR 5 behavior).
+    """
     from ..detect.scan import (
         _make_tile_runner,
         _scan_tiles_robust,
         scan_origins,
     )
 
-    model = pickle.loads(task.model_bytes)
+    model, model_cached = _resolve_model(task, model_cache)
     origins = scan_origins(task.scene_size, task.window, task.stride)
     span = origins[task.start:task.stop]
     with attach_array(task.shm) as shared:
@@ -97,6 +138,7 @@ def run_shard(task: ShardTask) -> dict:
                 "fallbacks": (dict(guarded.fallback_by_reason)
                               if guarded is not None else {}),
                 "warmup_ms": warmup_ms,
+                "model_cached": model_cached,
             }
 
         warmup_ms = 0.0
@@ -110,16 +152,43 @@ def run_shard(task: ShardTask) -> dict:
         from ..detect.predict import predict
 
         source = TileSource(image, task.window, batch_size=task.batch_size)
-        conf_parts: list[np.ndarray] = []
-        box_parts: list[np.ndarray] = []
-        for _, stack in source.batches(span):
-            conf, box = predict(model, stack, batch_size=len(stack),
-                                backend=task.backend)
-            conf_parts.append(conf)
-            box_parts.append(box)
-        return {
+        payload = {
             "shard": task.shard_index,
-            "confidences": np.concatenate(conf_parts),
-            "boxes": np.concatenate(box_parts),
             "warmup_ms": warmup_ms,
+            "model_cached": model_cached,
+            "via_slab": False,
         }
+        slab = attach_array(task.result) if task.result is not None else None
+        try:
+            use_slab = slab is not None
+            pos = 0
+            conf_parts: list[np.ndarray] = []
+            box_parts: list[np.ndarray] = []
+            for _, stack in source.batches(span):
+                conf, box = predict(model, stack, batch_size=len(stack),
+                                    backend=task.backend)
+                if use_slab and not (conf.dtype == slab.array.dtype
+                                     and box.dtype == slab.array.dtype):
+                    # parent sized the slab for a different dtype: fall
+                    # back to inline return rather than cast (the merge
+                    # must stay byte-identical to the sequential scan)
+                    use_slab = False
+                    conf_parts = [slab.array[:pos, 0].copy()]
+                    box_parts = [slab.array[:pos, 1:5].copy()]
+                if use_slab:
+                    n = len(conf)
+                    slab.array[pos:pos + n, 0] = conf
+                    slab.array[pos:pos + n, 1:5] = box
+                    pos += n
+                else:
+                    conf_parts.append(conf)
+                    box_parts.append(box)
+            if use_slab:
+                payload["via_slab"] = True
+            else:
+                payload["confidences"] = np.concatenate(conf_parts)
+                payload["boxes"] = np.concatenate(box_parts)
+            return payload
+        finally:
+            if slab is not None:
+                slab.close()

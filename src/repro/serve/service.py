@@ -166,6 +166,18 @@ class InferenceService:
                   ``(model, stack, batch_size) -> (confidences, boxes)``;
                   injectable for fault-injection tests (``repro.faults``).
                   Overrides ``backend`` (results then report "custom")
+    scan_workers: bulk-scan worker processes.  ``None`` (default)
+                  creates the service's scan pool lazily on the first
+                  ``scan_scene(n_workers=...)`` bulk call; an int (or
+                  ``"auto"``) spawns and warms the persistent
+                  :class:`repro.scanpar.WorkerPool` at service startup
+                  so even the first bulk scan runs on warm workers.
+                  The pool lives until :meth:`shutdown` (closed after
+                  the request queue drains).  A startup pool is created
+                  *before* the service threads exist, so it may still
+                  use cheap ``fork``; a lazily created pool starts its
+                  workers via ``spawn`` (the service's running threads
+                  make ``fork`` unsafe), a one-time cost at creation.
 
     Use as a context manager or call :meth:`shutdown` explicitly —
     the batcher and workers are non-daemon threads.
@@ -185,6 +197,7 @@ class InferenceService:
         engine=None,
         validate=True,
         predict_fn=None,
+        scan_workers: int | str | None = None,
     ) -> None:
         if max_queue < 1:
             raise ValueError("max_queue must be >= 1")
@@ -246,6 +259,16 @@ class InferenceService:
         else:
             self.backend = "eager"
             self._predict_fn = predict
+
+        # bulk-scan worker pool: created here (pre-thread, fork-safe)
+        # when scan_workers is given, else lazily at the first bulk
+        # scan; closed by shutdown() after the request queue drains
+        self._scan_pool = None
+        self._scan_pool_lock = threading.Lock()
+        if scan_workers is not None:
+            self._scan_pool = self._create_scan_pool(scan_workers)
+            if self._scan_pool is not None:
+                self._scan_pool.ensure_model(self.model)
 
         self._queue: deque[_Pending] = deque()
         # O(1) batcher bookkeeping: same-shape counts decide batch
@@ -367,31 +390,68 @@ class InferenceService:
         """Submit a stack of chips; returns one future per chip."""
         return [self.submit(chip, timeout_s=timeout_s) for chip in chips]
 
-    def scan_scene(self, scene, *, n_workers: int = 1, **scan_kwargs):
+    def _create_scan_pool(self, scan_workers: int | str):
+        """Build the service-owned scan pool, or ``None`` if pointless.
+
+        ``"auto"`` sizes the pool to the CPU affinity mask and skips
+        pool creation entirely on single-core boxes (the adaptive
+        policy would inline those scans anyway); an explicit int is
+        honoured as requested.
+        """
+        from ..scanpar import WorkerPool, cpu_affinity_count
+
+        if scan_workers == "auto":
+            n = cpu_affinity_count()
+            if n < 2:
+                return None
+        else:
+            n = int(scan_workers)
+            if n < 1:
+                raise ValueError("scan_workers must be >= 1 or 'auto'")
+            if n == 1:
+                return None
+        return WorkerPool(n)
+
+    def _ensure_scan_pool(self, n_workers: int | str):
+        """Lazily create (once) and return the service's scan pool."""
+        with self._scan_pool_lock:
+            if self._scan_pool is None and not self._stopping:
+                pool = self._create_scan_pool(n_workers)
+                if pool is not None:
+                    pool.ensure_model(self.model)
+                self._scan_pool = pool
+            return self._scan_pool
+
+    def scan_scene(self, scene, *, n_workers: int | str = 1, **scan_kwargs):
         """Scan a whole scene with this service's model.
 
         ``n_workers=1`` routes every window through the request path
         (:func:`repro.detect.scan_scene` with ``service=self``) — the
         scan shares the batcher, cache, and breaker with live traffic.
-        ``n_workers > 1`` takes the *bulk* path instead: the sharded
-        parallel scanner (:func:`repro.scanpar.parallel_scan_scene`)
-        runs the service's model on its configured backend across
-        worker processes, bypassing the request queue — whole-scene
-        throughput without holding the queue hostage for thousands of
-        tiles.  Both paths tally ``metrics.scans`` / ``metrics
-        .scan_tiles``.
+        ``n_workers > 1`` (or ``"auto"``) takes the *bulk* path
+        instead: the sharded parallel scanner
+        (:func:`repro.scanpar.parallel_scan_scene`) runs the service's
+        model on its configured backend across the service-owned
+        persistent worker pool, bypassing the request queue —
+        whole-scene throughput without holding the queue hostage for
+        thousands of tiles.  Both paths tally ``metrics.scans`` /
+        ``metrics.scan_tiles``.
         """
         from ..detect.scan import scan_scene as scan
 
-        if n_workers > 1 and self.backend == "custom":
+        bulk = n_workers == "auto" or (
+            isinstance(n_workers, int) and n_workers > 1
+        )
+        if bulk and self.backend == "custom":
             raise ValueError(
                 "bulk parallel scanning runs the model directly and "
                 "needs backend='eager' or 'engine', not an injected "
                 "predict_fn"
             )
-        if n_workers > 1:
+        if bulk:
+            pool = self._ensure_scan_pool(n_workers)
             result = scan(self.model, scene, backend=self.backend,
-                          n_workers=n_workers, **scan_kwargs)
+                          n_workers=n_workers, pool=pool, **scan_kwargs)
         else:
             result = scan(self.model, scene, service=self, **scan_kwargs)
         self.metrics.scans.inc()
@@ -412,6 +472,10 @@ class InferenceService:
             self._cond.notify_all()
         self._batcher.join(timeout=timeout_s)
         self._pool.shutdown(wait=True)
+        with self._scan_pool_lock:
+            if self._scan_pool is not None:
+                self._scan_pool.close()
+                self._scan_pool = None
 
     @property
     def queue_depth(self) -> int:

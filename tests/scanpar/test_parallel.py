@@ -36,6 +36,9 @@ def scan(model, scene, **kwargs):
     kwargs.setdefault("window", WINDOW)
     kwargs.setdefault("stride", 50)
     kwargs.setdefault("confidence_threshold", 0.3)
+    # small batches so this 9-origin scene still splits into >= 2
+    # micro-batch-aligned shards (one-shard scans inline to sequential)
+    kwargs.setdefault("batch_size", 4)
     return scan_scene(model, scene, **kwargs)
 
 
@@ -69,9 +72,42 @@ class TestParity:
         sequential = scan(model, scene)
         spawned = parallel_scan_scene(
             model, scene, window=WINDOW, stride=50,
-            confidence_threshold=0.3, n_workers=2, start_method="spawn",
+            confidence_threshold=0.3, batch_size=4, n_workers=2,
+            start_method="spawn",
         )
         assert_identical(spawned, sequential)
+
+    def test_cold_private_pool_matches_warm_shared_pool(self, model, scene):
+        from repro.scanpar import parallel_scan_scene
+
+        sequential = scan(model, scene)
+        pooled = scan(model, scene, n_workers=2)  # shared persistent pool
+        cold = parallel_scan_scene(
+            model, scene, window=WINDOW, stride=50,
+            confidence_threshold=0.3, batch_size=4, n_workers=2,
+            reuse_pool=False,
+        )
+        assert_identical(pooled, sequential)
+        assert_identical(cold, sequential)
+
+    @pytest.mark.slow  # spawn pays an interpreter boot per worker
+    @pytest.mark.parametrize("backend", ["eager", "engine"])
+    @pytest.mark.parametrize("start_method", ["fork", "spawn"])
+    def test_pooled_backend_start_method_matrix(self, model, scene,
+                                                backend, start_method):
+        import multiprocessing as mp
+
+        from repro.scanpar import parallel_scan_scene
+
+        if start_method not in mp.get_all_start_methods():
+            pytest.skip(f"{start_method} unavailable")
+        sequential = scan(model, scene, backend=backend)
+        pooled = parallel_scan_scene(
+            model, scene, window=WINDOW, stride=50,
+            confidence_threshold=0.3, batch_size=4, backend=backend,
+            n_workers=2, start_method=start_method,
+        )
+        assert_identical(pooled, sequential)
 
 
 class TestValidation:

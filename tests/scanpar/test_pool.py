@@ -1,0 +1,227 @@
+"""WorkerPool lifecycle, the adaptive worker policy, and failure paths."""
+
+import multiprocessing as mp
+import os
+import signal
+import threading
+import time
+
+import pytest
+
+from repro.arch import ConvSpec, PoolSpec, SPPNetConfig
+from repro.detect import SPPNetDetector
+from repro.detect.scan import scan_origins
+from repro.geo import WatershedConfig, build_scene
+from repro.scanpar import (
+    SharedArray,
+    ShardTask,
+    WorkerError,
+    WorkerPool,
+    default_start_method,
+    parallel_scan_scene,
+    resolve_n_workers,
+    serialized_model,
+)
+from repro.scanpar.parallel import _MEASURED_SPAWN_MS
+from repro.scanpar.sharding import partition_origins
+
+WINDOW = 64
+STRIDE = 32
+BATCH = 8
+SCENE_SIZE = 200
+
+
+@pytest.fixture(scope="module")
+def scene():
+    return build_scene(WatershedConfig(size=SCENE_SIZE, road_spacing=64,
+                                       stream_threshold=600, seed=5))
+
+
+@pytest.fixture(scope="module")
+def model():
+    arch = SPPNetConfig(
+        convs=(ConvSpec(8, 3, 1),), pools=(PoolSpec(2, 2),),
+        spp_levels=(2, 1), fc_sizes=(32,), name="pool-test",
+    )
+    detector = SPPNetDetector(arch, seed=0)
+    detector.eval()
+    return detector
+
+
+def scan(model, scene, **kwargs):
+    kwargs.setdefault("window", WINDOW)
+    kwargs.setdefault("stride", STRIDE)
+    kwargs.setdefault("confidence_threshold", 0.3)
+    kwargs.setdefault("batch_size", BATCH)
+    return parallel_scan_scene(model, scene, **kwargs)
+
+
+def make_tasks(scene, shared, model_hash, backend="engine"):
+    origins = scan_origins(scene.size, WINDOW, STRIDE)
+    shards = partition_origins(len(origins), 2, BATCH)
+    assert len(shards) >= 2
+    return [
+        ShardTask(shard_index=s.index, start=s.start, stop=s.stop,
+                  shm=shared.spec(), model_hash=model_hash,
+                  scene_size=scene.size, window=WINDOW, stride=STRIDE,
+                  batch_size=BATCH, backend=backend,
+                  confidence_threshold=0.3)
+        for s in shards
+    ]
+
+
+class ExplodingModel:
+    """Picklable model stand-in that fails on any inference attempt."""
+
+    def eval(self):
+        return self
+
+    def __call__(self, *args, **kwargs):
+        raise RuntimeError("boom")
+
+
+class TestPoolReuse:
+    def test_consecutive_scans_reuse_workers(self, model, scene):
+        sequential = scan(model, scene, n_workers=1)
+        with WorkerPool(2) as pool:
+            first = scan(model, scene, n_workers=2, pool=pool)
+            pids = pool.worker_pids()
+            sends = pool.stats["model_sends"]
+            second = scan(model, scene, n_workers=2, pool=pool)
+            # no respawn, no model re-send, same processes
+            assert pool.worker_pids() == pids
+            assert pool.stats["workers_spawned"] == 2
+            assert pool.stats["model_sends"] == sends == 2
+            assert pool.stats["runs"] == 2
+        assert list(first) == list(second) == list(sequential)
+
+    def test_second_run_hits_worker_model_cache(self, model, scene):
+        with WorkerPool(2) as pool:
+            model_hash = pool.ensure_model(model)
+            with SharedArray(scene.image) as shared:
+                first = pool.run(make_tasks(scene, shared, model_hash))
+                second = pool.run(make_tasks(scene, shared, model_hash))
+        # ensure_model pre-populated the cache: neither run re-unpickles
+        assert all(p["model_cached"] for p in first + second)
+        # the warmed engine survives between runs: re-warming a cached
+        # program must not cost more than the original compile
+        assert all(p["warmup_ms"] >= 0 for p in first)
+        assert sum(p["warmup_ms"] for p in second) <= \
+            sum(p["warmup_ms"] for p in first)
+
+    def test_ensure_model_sends_bytes_once_per_worker(self, model):
+        with WorkerPool(2) as pool:
+            h1 = pool.ensure_model(model)
+            assert pool.stats["model_sends"] == 2
+            h2 = pool.ensure_model(model)
+            assert h2 == h1
+            assert pool.stats["model_sends"] == 2
+
+    def test_serialized_model_caches_per_instance(self, model):
+        data1, hash1 = serialized_model(model)
+        data2, hash2 = serialized_model(model)
+        assert data1 is data2 and hash1 == hash2
+
+    def test_dead_worker_is_revived(self, model, scene):
+        sequential = scan(model, scene, n_workers=1)
+        with WorkerPool(2) as pool:
+            victim = pool.worker_pids()[0]
+            os.kill(victim, signal.SIGKILL)
+            deadline = time.monotonic() + 10
+            while victim in pool.worker_pids() \
+                    and pool._workers[0].proc.is_alive():
+                if time.monotonic() > deadline:  # pragma: no cover
+                    pytest.fail("killed worker never died")
+                time.sleep(0.05)
+            result = scan(model, scene, n_workers=2, pool=pool)
+            assert pool.stats["workers_revived"] == 1
+            assert victim not in pool.worker_pids()
+        assert list(result) == list(sequential)
+
+
+class TestAdaptivePolicy:
+    def resolve(self, **kwargs):
+        kwargs.setdefault("n_origins", 500)
+        kwargs.setdefault("batch_size", 20)
+        kwargs.setdefault("pool_warm", True)
+        return resolve_n_workers("auto", **kwargs)
+
+    def test_single_core_inlines(self):
+        assert self.resolve(cpus=1) == 1
+
+    def test_two_cores_parallelize(self):
+        assert self.resolve(cpus=2) == 2
+
+    def test_budget_capped_by_batches(self):
+        # 120 origins / batch 20 = 6 micro-batches -> at most 3 workers
+        assert self.resolve(cpus=8, n_origins=120) == 3
+
+    def test_tiny_scene_inlines_even_on_many_cores(self):
+        # 30 origins / batch 20 = 2 batches -> budget 1 -> sequential
+        assert self.resolve(cpus=8, n_origins=30) == 1
+
+    def test_cold_pool_needs_breakeven_scene(self, monkeypatch):
+        monkeypatch.setitem(_MEASURED_SPAWN_MS, "spawn", 1000.0)
+        kwargs = dict(cpus=2, start_method="spawn", pool_warm=False)
+        # break-even = 1000 ms * 2 workers * 0.5 tiles/ms = 1000 tiles
+        assert self.resolve(n_origins=500, **kwargs) == 1
+        assert self.resolve(n_origins=5000, **kwargs) == 2
+        # a warm pool has already sunk the spawn cost
+        assert self.resolve(n_origins=500, cpus=2, pool_warm=True) == 2
+
+    def test_int_passthrough_and_validation(self):
+        assert resolve_n_workers(3, n_origins=10, batch_size=20) == 3
+        with pytest.raises(ValueError, match="n_workers"):
+            resolve_n_workers(0, n_origins=10, batch_size=20)
+
+
+class TestStartMethod:
+    def test_threaded_process_prefers_spawn(self):
+        seen = {}
+        thread = threading.Thread(
+            target=lambda: seen.setdefault("method", default_start_method())
+        )
+        thread.start()
+        thread.join()
+        assert seen["method"] == "spawn"
+
+    def test_single_threaded_prefers_fork_when_available(self):
+        if "fork" not in mp.get_all_start_methods() \
+                or threading.active_count() > 1:
+            pytest.skip("no fork / runner already threaded")
+        assert default_start_method() == "fork"
+
+
+class TestFailurePaths:
+    def test_uncached_model_error_names_shard(self, scene):
+        with WorkerPool(1) as pool, SharedArray(scene.image) as shared:
+            tasks = make_tasks(scene, shared, "0" * 40, backend="eager")
+            with pytest.raises(WorkerError, match=r"shard 0 \(origins"):
+                pool.run(tasks[:1])
+            # the failure must not poison the pool
+            assert pool.worker_pids() and not pool.closed
+
+    def test_worker_failure_cleans_result_slabs(self, scene):
+        if not os.path.isdir("/dev/shm"):
+            pytest.skip("no /dev/shm to observe")
+        before = set(os.listdir("/dev/shm"))
+        with pytest.raises(WorkerError, match="boom|Error"):
+            scan(ExplodingModel(), scene, n_workers=2, reuse_pool=False)
+        after = set(os.listdir("/dev/shm"))
+        leaked = {name for name in after - before if name.startswith("psm_")}
+        assert leaked == set()
+
+    def test_pool_survives_failed_scan(self, model, scene):
+        sequential = scan(model, scene, n_workers=1)
+        with WorkerPool(2) as pool:
+            with pytest.raises(WorkerError):
+                scan(ExplodingModel(), scene, n_workers=2, pool=pool)
+            result = scan(model, scene, n_workers=2, pool=pool)
+            assert pool.stats["workers_revived"] == 0
+        assert list(result) == list(sequential)
+
+    def test_closed_pool_rejects_work(self, model):
+        pool = WorkerPool(1)
+        pool.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            pool.ensure_model(model)

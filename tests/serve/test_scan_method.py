@@ -60,3 +60,56 @@ class TestScanMethod:
                               predict_fn=fake_predict) as service:
             with pytest.raises(ValueError, match="bulk parallel"):
                 service.scan_scene(scene, n_workers=2, **KWARGS)
+
+
+class TestScanPool:
+    """The service-owned persistent pool and thread-safe start methods."""
+
+    # small batches so the 9-origin scene shards across 2 workers
+    # instead of inlining (shards snap to micro-batch boundaries)
+    POOL_KWARGS = dict(KWARGS, batch_size=4)
+
+    def test_scan_from_threaded_service_prefers_spawn(self, model):
+        # regression: the batcher/worker threads make fork unsafe, so a
+        # scan issued while the service runs must pick spawn
+        from repro.scanpar import default_start_method
+
+        with InferenceService(model, BatchPolicy(max_batch=8)):
+            assert default_start_method() == "spawn"
+
+    def test_startup_pool_is_warm_and_closed_on_shutdown(self, model, scene):
+        local = scan_scene(model, scene, **self.POOL_KWARGS)
+        with InferenceService(model, BatchPolicy(max_batch=8),
+                              scan_workers=2) as service:
+            pool = service._scan_pool
+            assert pool is not None and pool.n_workers == 2
+            # the model was delivered at startup, before any scan
+            assert pool.stats["model_sends"] == 2
+            served = service.scan_scene(scene, n_workers=2,
+                                        **self.POOL_KWARGS)
+            assert list(served) == list(local)
+            assert pool.stats["runs"] == 1
+            assert pool.stats["model_sends"] == 2  # no re-send
+        assert pool.closed
+        assert service._scan_pool is None
+
+    def test_lazy_pool_created_once_and_closed(self, model, scene):
+        local = scan_scene(model, scene, **self.POOL_KWARGS)
+        with InferenceService(model, BatchPolicy(max_batch=8)) as service:
+            assert service._scan_pool is None
+            first = service.scan_scene(scene, n_workers=2,
+                                       **self.POOL_KWARGS)
+            pool = service._scan_pool
+            assert pool is not None
+            second = service.scan_scene(scene, n_workers=2,
+                                        **self.POOL_KWARGS)
+            assert service._scan_pool is pool
+            assert pool.stats["workers_spawned"] == 2
+            assert pool.stats["runs"] == 2
+        assert pool.closed
+        assert list(first) == list(second) == list(local)
+
+    def test_scan_workers_validation(self, model):
+        with pytest.raises(ValueError, match="scan_workers"):
+            InferenceService(model, BatchPolicy(max_batch=8),
+                             scan_workers=0)
