@@ -29,6 +29,7 @@ verbatim so the finished result is identical to an uninterrupted run.
 from __future__ import annotations
 
 import math
+import time
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
@@ -45,8 +46,20 @@ if TYPE_CHECKING:
     from ..serve import InferenceService
 
 __all__ = ["SceneDetection", "SceneDetectionScores", "ScanCoverage",
-           "ScanDetections", "scan_origins", "non_max_suppression",
-           "scan_scene", "evaluate_scene_detections"]
+           "ScanDetections", "ScanDeadlineError", "scan_origins",
+           "non_max_suppression", "scan_scene", "evaluate_scene_detections"]
+
+
+class ScanDeadlineError(TimeoutError):
+    """A scan's wall-clock deadline expired before it finished.
+
+    Raised by the fleet supervisor (``repro.fleet.supervise``) when a
+    run-level deadline — typically a per-request deadline propagated
+    from ``serve.InferenceService.scan_scene(timeout_s=...)`` — passes
+    with shards still in flight.  Journaled scans lose nothing: the
+    tiles finished before the deadline are on disk and a later
+    ``resume=True`` scan picks up from them.
+    """
 
 
 @dataclass(frozen=True)
@@ -211,6 +224,8 @@ def scan_scene(
     resume: bool = False,
     n_workers: int | str = 1,
     pool=None,
+    timeout_s: float | None = None,
+    supervision=None,
 ) -> ScanDetections:
     """Detect crossings across a whole scene.
 
@@ -252,10 +267,25 @@ def scan_scene(
     ``backend="engine"`` it also runs through the guarded engine→eager
     fallback (:class:`~repro.robust.GuardedEngine`).
 
+    ``timeout_s`` bounds the scan's wall clock: past the deadline the
+    scan raises :class:`ScanDeadlineError` instead of running on.  On
+    the sequential paths the deadline is checked between batches (or
+    tiles, on the robust path — journaled tiles stay resumable); on the
+    parallel path it becomes the fleet supervisor's run deadline, and
+    on the service path it bounds each submitted request.
+    ``supervision`` (a ``repro.fleet.SupervisionPolicy``, or ``True``
+    for the defaults) enables supervised dispatch on the parallel path:
+    per-shard deadlines, hung/dead worker recovery, and poison-shard
+    quarantine — see ``docs/fleet.md``.
+
     The returned list is a :class:`ScanDetections` carrying a
     :class:`ScanCoverage` (on the non-robust path it simply reports full
     coverage).
     """
+    if timeout_s is not None and timeout_s <= 0:
+        raise ValueError("timeout_s must be positive or None")
+    deadline_at = (time.monotonic() + timeout_s
+                   if timeout_s is not None else None)
     if isinstance(n_workers, str):
         if n_workers != "auto":
             raise ValueError(
@@ -277,6 +307,7 @@ def scan_scene(
             nms_radius=nms_radius, batch_size=batch_size, backend=backend,
             sanitize=sanitize, journal=journal, resume=resume,
             n_workers=n_workers, pool=pool,
+            deadline_s=timeout_s, supervision=supervision,
         )
 
     n = scene.size
@@ -294,6 +325,7 @@ def scan_scene(
             confidence_threshold=confidence_threshold,
             nms_radius=nms_radius, backend=backend,
             policy=sanitize, journal=journal, resume=resume,
+            deadline_at=deadline_at,
         )
     if resume:
         raise ValueError("resume=True requires a journal")
@@ -303,20 +335,43 @@ def scan_scene(
     tiles = TileSource(scene.image, window, batch_size=batch_size)
     if service is not None:
         # per-origin strided views: zero-copy until the service's own
-        # batcher stacks a micro-batch
+        # batcher stacks a micro-batch.  The scan deadline rides along
+        # as each request's dispatch deadline, so a wedged service fails
+        # the scan with a timeout instead of blocking it forever.
+        from ..serve.service import RequestTimeoutError
+
         futures = [
-            service.submit(np.asarray(tiles.tile(origin), dtype=np.float32))
+            service.submit(np.asarray(tiles.tile(origin), dtype=np.float32),
+                           timeout_s=timeout_s)
             for origin in origins
         ]
-        results = [f.result() for f in futures]
+        results = []
+        for future in futures:
+            remaining = None
+            if deadline_at is not None:
+                remaining = max(deadline_at - time.monotonic(), 1e-3)
+            try:
+                results.append(future.result(timeout=remaining))
+            except (TimeoutError, RequestTimeoutError) as exc:
+                raise ScanDeadlineError(
+                    f"scan deadline ({timeout_s:.1f}s) expired with "
+                    f"{len(results)} of {len(origins)} tiles answered"
+                ) from exc
         confidences = np.array([r.confidence for r in results])
         boxes = np.stack([r.box for r in results])
     else:
         conf_parts: list[np.ndarray] = []
         box_parts: list[np.ndarray] = []
+        scanned = 0
         for _, stack in tiles.batches(origins):
+            if deadline_at is not None and time.monotonic() >= deadline_at:
+                raise ScanDeadlineError(
+                    f"scan deadline ({timeout_s:.1f}s) expired after "
+                    f"{scanned} of {len(origins)} tiles"
+                )
             conf, box = predict(model, stack, batch_size=len(stack),
                                 backend=backend)
+            scanned += len(stack)
             conf_parts.append(conf)
             box_parts.append(box)
         confidences = np.concatenate(conf_parts)
@@ -359,15 +414,24 @@ def _scan_tiles_robust(
     policy: "SanitizePolicy",
     confidence_threshold: float,
     journal: "ScanJournal | None",
+    deadline_at: float | None = None,
 ) -> "list[TileRecord]":
     """Sanitize → predict → journal for a sequence of (index, origin)
     tiles.  The shared inner loop of the sequential robust scan and of
-    each parallel shard worker."""
+    each parallel shard worker.  ``deadline_at`` (monotonic) raises
+    :class:`ScanDeadlineError` between tiles — everything journaled so
+    far stays on disk for a later ``resume=True``."""
     from ..robust.journal import TileRecord
     from ..robust.sanitize import sanitize_chip
 
     fresh: list[TileRecord] = []
     for index, (r0, c0) in items:
+        if deadline_at is not None and time.monotonic() >= deadline_at:
+            raise ScanDeadlineError(
+                f"scan deadline expired after {len(fresh)} of "
+                f"{len(items)} remaining tiles; journaled tiles are "
+                f"resumable"
+            )
         tile = np.asarray(
             image[:, r0:r0 + window, c0:c0 + window], dtype=np.float32
         )
@@ -412,6 +476,7 @@ def _scan_scene_robust(
     policy: "SanitizePolicy | None",
     journal: "ScanJournal | str | None",
     resume: bool,
+    deadline_at: float | None = None,
 ) -> ScanDetections:
     """Per-tile sanitize → predict → journal loop behind scan_scene."""
     from ..robust.journal import ScanJournal, TileRecord
@@ -428,13 +493,8 @@ def _scan_scene_robust(
                       confidence_threshold, backend)
     done: dict[int, TileRecord] = {}
     if jr is not None:
-        if resume and jr.exists():
-            jr.check_meta(meta)
-            # a crashed *parallel* scan leaves per-shard journals behind;
-            # folding them in first means no finished tile ever re-runs
-            jr.absorb_shards(meta)
-            _, replayed = jr.load()
-            done = {rec.index: rec for rec in replayed}
+        if resume:
+            done = jr.resume_or_start(meta)
         else:
             jr.start(meta)
     elif resume:
@@ -446,6 +506,7 @@ def _scan_scene_robust(
     fresh = _scan_tiles_robust(
         run, image, items, window=window, policy=policy,
         confidence_threshold=confidence_threshold, journal=jr,
+        deadline_at=deadline_at,
     )
 
     records = sorted(list(done.values()) + fresh, key=lambda rec: rec.index)

@@ -35,6 +35,8 @@ __all__ = [
     "eligible_variants",
     "choose_variant",
     "choices",
+    "snapshot",
+    "seed",
     "clear_cache",
     "autotune_choices",
     "clear_autotune_cache",
@@ -152,6 +154,37 @@ def choices() -> dict[ConvKey, dict]:
                   "timings": dict(_timings.get(key, {}))}
             for key, variant in _cache.items()
         }
+
+
+def snapshot() -> dict[ConvKey, str]:
+    """Picklable copy of the sticky choices (variant only, no timings).
+
+    What the scan worker pool ships alongside a model: measured timings
+    differ between the parent and a worker process, so a worker left to
+    tune on its own can legally flip a near-tie the other way — and a
+    Winograd-vs-GEMM flip changes float rounding, breaking the parallel
+    scan's byte-identity contract.  Seeding workers with the parent's
+    snapshot pins every process to one set of kernels.
+    """
+    with _lock:
+        return dict(_cache)
+
+
+def seed(decided: dict[ConvKey, str]) -> None:
+    """Adopt variant choices decided in another process.
+
+    Entries land through ``setdefault`` — a key this process already
+    measured keeps its sticky choice, preserving the first-writer-wins
+    determinism guarantee within the process.
+    """
+    for key, variant in decided.items():
+        if variant not in CONV_VARIANTS:
+            raise ValueError(
+                f"unknown conv variant {variant!r} for {key}, expected one "
+                f"of {CONV_VARIANTS}")
+    with _lock:
+        for key, variant in decided.items():
+            _cache.setdefault(key, variant)
 
 
 def clear_cache() -> None:

@@ -12,16 +12,28 @@ every run:
   way production NAIP tiles actually degrade — NaN pepper, nodata holes,
   dropped bands, saturation stripes, truncated edge tiles — plus
   :func:`corrupt_scene` to damage a seeded fraction of a scene's tiles.
+* **Process-level worker faults** for the fleet chaos suite —
+  :class:`FaultyDetector` wraps a picklable model so scripted forward
+  calls hang, die (SIGKILL), stall, or raise *inside pool worker
+  processes*, each fault firing exactly once across the whole worker
+  fleet via an atomic filesystem fuse; :func:`tear_trailing_line`
+  manufactures the torn-JSONL crash artifact the journal repair path
+  recovers from.
 
 Used by the NAS retry/quarantine tests, the serving circuit-breaker
-tests, the ``repro.robust`` sanitizer tests, and
-``benchmarks/bench_resilience.py`` / ``benchmarks/bench_robustness.py``.
+tests, the ``repro.robust`` sanitizer tests, the ``repro.fleet`` chaos
+suite, and ``benchmarks/bench_resilience.py`` /
+``benchmarks/bench_robustness.py`` / ``benchmarks/bench_fleet.py``.
 """
 
 from __future__ import annotations
 
+import os
+import signal
 import threading
 import time
+from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Callable, Sequence
 
 import numpy as np
@@ -40,6 +52,9 @@ __all__ = [
     "TruncateTile",
     "default_injectors",
     "corrupt_scene",
+    "WorkerFaultPlan",
+    "FaultyDetector",
+    "tear_trailing_line",
 ]
 
 
@@ -292,6 +307,168 @@ def default_injectors(seed: int = 0) -> list[Corruption]:
         SaturateStripe(seed=seed + 3),
         TruncateTile(seed=seed + 4),
     ]
+
+
+# ----------------------------------------------------------------------
+# process-level worker faults (fleet chaos suite)
+# ----------------------------------------------------------------------
+
+_FAULT_KINDS = frozenset({"hang", "kill", "slow", "error"})
+
+
+@dataclass(frozen=True)
+class WorkerFaultPlan:
+    """Scripted worker-process faults keyed by model-call ordinal.
+
+    ``faults`` maps a *global* forward-call ordinal (0-based, counted
+    across every worker process that shares ``fuse_dir``) to a fault
+    kind:
+
+    - ``"hang"``  : sleep ``hang_s`` (the wedged-but-alive worker; the
+      supervisor's deadline kill is the only way out),
+    - ``"kill"``  : ``SIGKILL`` the calling process mid-shard,
+    - ``"slow"``  : sleep ``slow_s`` then answer normally,
+    - ``"error"`` : raise :class:`InjectedFault`.
+
+    The ordinal is claimed through an atomic ``O_CREAT | O_EXCL`` file
+    per call under ``fuse_dir`` — exactly one process across the fleet
+    owns any ordinal, and each fault fires **exactly once** per plan no
+    matter how often the shard is redispatched, because the claim file
+    outlives the worker the fault killed.  That single-shot property is
+    what lets a chaos run assert completion: every injected fault costs
+    one recovery, then the retry runs clean.
+    """
+
+    faults: dict[int, str]
+    fuse_dir: str
+    hang_s: float = 3600.0
+    slow_s: float = 1.0
+
+    def __post_init__(self) -> None:
+        unknown = set(self.faults.values()) - _FAULT_KINDS
+        if unknown:
+            raise ValueError(
+                f"unknown fault kinds {sorted(unknown)}; "
+                f"allowed: {sorted(_FAULT_KINDS)}"
+            )
+        Path(self.fuse_dir).mkdir(parents=True, exist_ok=True)
+
+    def counts(self) -> dict[str, int]:
+        out = {kind: 0 for kind in sorted(_FAULT_KINDS)}
+        for kind in self.faults.values():
+            out[kind] += 1
+        return out
+
+    def fired(self) -> int:
+        """Fault ordinals whose fuse has been claimed by some process."""
+        claimed = {int(p.name.split("-")[1])
+                   for p in Path(self.fuse_dir).glob("call-*")}
+        return sum(1 for ordinal in self.faults if ordinal in claimed)
+
+
+@dataclass(eq=False)  # identity hash: the pool's model-bytes cache is
+#                       keyed by instance, like any other model
+class FaultyDetector:
+    """Picklable detector wrapper that injects :class:`WorkerFaultPlan`
+    faults into forward calls **in worker processes only**.
+
+    Travels to pool workers inside the normal model pickle; the wrapped
+    model's numerics are untouched (a non-faulting call delegates
+    verbatim), so a scan through a ``FaultyDetector`` that recovers from
+    every fault must produce byte-identical detections to the bare
+    model — the fleet chaos gate's core assertion.
+
+    The parent pid is captured at construction: calls in that process
+    never fault (and never consume ordinals), so the supervisor's
+    inline poison-shard fallback and any parent-side reference scan run
+    clean by construction.
+    """
+
+    model: object
+    plan: WorkerFaultPlan
+    parent_pid: int = field(default_factory=os.getpid)
+    _next_ordinal: int = field(default=0, compare=False)
+
+    def _claim_ordinal(self) -> int:
+        """Atomically claim the next unclaimed global call ordinal."""
+        n = self._next_ordinal
+        while True:
+            path = Path(self.plan.fuse_dir) / f"call-{n:06d}"
+            try:
+                fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+            except FileExistsError:
+                n += 1
+                continue
+            with os.fdopen(fd, "w") as fh:
+                fh.write(str(os.getpid()))
+            self._next_ordinal = n + 1
+            return n
+
+    def _maybe_fault(self) -> None:
+        if os.getpid() == self.parent_pid:
+            return
+        ordinal = self._claim_ordinal()
+        kind = self.plan.faults.get(ordinal)
+        if kind is None:
+            return
+        if kind == "hang":
+            time.sleep(self.plan.hang_s)
+        elif kind == "kill":
+            os.kill(os.getpid(), signal.SIGKILL)
+        elif kind == "slow":
+            time.sleep(self.plan.slow_s)
+        elif kind == "error":
+            raise InjectedFault(
+                f"injected worker fault at call ordinal {ordinal}"
+            )
+
+    def __call__(self, *args, **kwargs):
+        self._maybe_fault()
+        return self.model(*args, **kwargs)
+
+    def eval(self):
+        self.model.eval()
+        return self
+
+    def train(self):
+        self.model.train()
+        return self
+
+    def __getattr__(self, name: str):
+        # dataclass attributes resolve normally; everything else (arch
+        # config, parameters, ...) delegates to the wrapped model.  The
+        # guards keep pickle/copy protocol probes from recursing while
+        # ``model`` is not set yet during unpickling.
+        if name.startswith("__") or "model" not in self.__dict__:
+            raise AttributeError(name)
+        return getattr(self.model, name)
+
+
+def tear_trailing_line(path: str | Path, keep_fraction: float = 0.5) -> int:
+    """Truncate a file mid-way through its final line (crash artifact).
+
+    Reproduces what a ``SIGKILL`` during an unflushed append leaves
+    behind: the last line's bytes cut at an arbitrary point, no
+    terminating newline.  Returns the number of bytes removed.  Used by
+    the torn-journal chaos tests against
+    :func:`repro.robust.journal.load_jsonl_repaired`.
+    """
+    if not 0.0 <= keep_fraction < 1.0:
+        raise ValueError("keep_fraction must be in [0, 1)")
+    path = Path(path)
+    raw = path.read_bytes()
+    body = raw.rstrip(b"\n")
+    if not body:
+        return 0
+    last_start = body.rfind(b"\n") + 1
+    last_line = body[last_start:]
+    keep = max(1, int(len(last_line) * keep_fraction))
+    torn = body[:last_start] + last_line[:keep]
+    with open(path, "r+b") as fh:
+        fh.truncate(len(torn))
+        fh.flush()
+        os.fsync(fh.fileno())
+    return len(raw) - len(torn)
 
 
 def corrupt_scene(

@@ -22,7 +22,7 @@ from .guard import (
     EngineGuardError,
     GuardedEngine,
 )
-from .journal import ScanJournal, ScanJournalError, TileRecord
+from .journal import ScanJournal, ScanJournalError, TileRecord, load_jsonl_repaired
 from .sanitize import (
     ChipIssue,
     ChipReport,
@@ -44,6 +44,7 @@ __all__ = [
     "ScanJournal",
     "ScanJournalError",
     "TileRecord",
+    "load_jsonl_repaired",
     "GuardedEngine",
     "EngineGuardError",
     "FALLBACK_NON_FINITE",

@@ -18,7 +18,8 @@ import os
 from dataclasses import dataclass, field
 from pathlib import Path
 
-__all__ = ["TileRecord", "ScanJournal", "ScanJournalError"]
+__all__ = ["TileRecord", "ScanJournal", "ScanJournalError",
+           "load_jsonl_repaired"]
 
 _HEADER_KIND = "scan_header"
 _TILE_KIND = "tile"
@@ -26,6 +27,70 @@ _TILE_KIND = "tile"
 
 class ScanJournalError(RuntimeError):
     """Corrupt journal, or a resume against a mismatched scan."""
+
+
+def load_jsonl_repaired(path: str | Path, *, repair: bool = True) -> list[dict]:
+    """Parse a JSONL file, tolerating — and repairing — a torn final write.
+
+    A process killed mid-append leaves one of two crash artifacts at the
+    end of the file: a partial line that is not valid JSON, or a valid
+    line missing its terminating newline.  Both are repaired in place
+    (``repair=True``): the torn partial line is truncated away, the
+    unterminated valid line gets its newline — so a later append can
+    never concatenate onto damaged bytes and turn a recoverable crash
+    artifact into mid-file corruption.  A malformed line *followed by
+    more data* is genuine corruption (no crash produces it) and raises
+    :class:`ScanJournalError`.
+
+    Shared by :class:`ScanJournal` and the fleet job queue
+    (``repro.fleet.jobs``), so every durable JSONL log in the repo has
+    the same crash-recovery contract.
+    """
+    path = Path(path)
+    if not path.exists():
+        return []
+    raw = path.read_bytes()
+    records: list[dict] = []
+    good_end = 0              # bytes known to hold intact, terminated lines
+    tail_valid_unterminated = False
+    pos = 0
+    line_no = 0
+    n = len(raw)
+    while pos < n:
+        line_no += 1
+        nl = raw.find(b"\n", pos)
+        end = n if nl < 0 else nl
+        terminated = nl >= 0
+        chunk = raw[pos:end].strip()
+        if chunk:
+            try:
+                record = json.loads(chunk.decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError):
+                if terminated:
+                    raise ScanJournalError(
+                        f"{path}: corrupt journal line {line_no}"
+                    ) from None
+                break  # torn trailing write from a crash — recoverable
+            records.append(record)
+            if terminated:
+                good_end = nl + 1
+            else:
+                tail_valid_unterminated = True
+        elif terminated:      # blank line: harmless, keep it as intact bytes
+            good_end = nl + 1
+        pos = end + 1
+    if repair:
+        if tail_valid_unterminated:
+            with open(path, "ab") as fh:
+                fh.write(b"\n")
+                fh.flush()
+                os.fsync(fh.fileno())
+        elif good_end < n:
+            with open(path, "r+b") as fh:
+                fh.truncate(good_end)
+                fh.flush()
+                os.fsync(fh.fileno())
+    return records
 
 
 @dataclass(frozen=True)
@@ -158,31 +223,44 @@ class ScanJournal:
         """(header meta, tile records in completion order).
 
         A trailing torn line (the write the crash interrupted) is
-        dropped; a torn line anywhere else is corruption and raises.
+        dropped *and truncated from the file* — leaving it in place
+        would let the next append concatenate onto the damaged bytes
+        and turn a recoverable crash artifact into mid-file corruption
+        (see :func:`load_jsonl_repaired`).  A journal reduced to a torn
+        header alone loads as empty (``({}, [])``), which the resume
+        paths treat as a fresh scan; a torn line anywhere else is
+        corruption and raises.
         """
-        if not self.path.exists():
+        parsed = load_jsonl_repaired(self.path)
+        if not parsed:
             return {}, []
-        with open(self.path, encoding="utf-8") as fh:
-            lines = [ln.strip() for ln in fh]
-        lines = [ln for ln in lines if ln]
-        if not lines:
-            return {}, []
-        parsed: list[dict] = []
-        for i, line in enumerate(lines):
-            try:
-                parsed.append(json.loads(line))
-            except json.JSONDecodeError:
-                if i == len(lines) - 1:
-                    break  # torn final write from a crash — ignorable
-                raise ScanJournalError(
-                    f"{self.path}: corrupt journal line {i + 1}"
-                ) from None
-        if not parsed or parsed[0].get("kind") != _HEADER_KIND:
+        if parsed[0].get("kind") != _HEADER_KIND:
             raise ScanJournalError(f"{self.path}: missing scan header")
         meta = {k: v for k, v in parsed[0].items() if k != "kind"}
         records = [TileRecord.from_json(p) for p in parsed[1:]
                    if p.get("kind") == _TILE_KIND]
         return meta, records
+
+    def resume_or_start(self, meta: dict) -> "dict[int, TileRecord]":
+        """Resume this journal against ``meta``, or begin it fresh.
+
+        Returns the already-journaled tile records keyed by index.  A
+        journal that does not exist — or whose header write itself was
+        torn by a crash (it loads as empty) — starts fresh.  Per-shard
+        journals a crashed parallel scan left behind are absorbed first,
+        so no finished tile ever re-runs; a header that disagrees with
+        ``meta`` still raises.  One shared entry point for the
+        sequential, parallel, and fleet resume paths.
+        """
+        if self.exists():
+            header, _ = self.load()
+            if header:
+                self.check_meta(meta)
+                self.absorb_shards(meta)
+                _, replayed = self.load()
+                return {rec.index: rec for rec in replayed}
+        self.start(meta)
+        return {}
 
     def check_meta(self, meta: dict) -> None:
         """Raise unless the journal's header matches ``meta`` exactly."""

@@ -41,6 +41,7 @@ from __future__ import annotations
 import multiprocessing as mp
 import os
 import threading
+import time
 from contextlib import ExitStack
 from typing import TYPE_CHECKING
 
@@ -60,7 +61,7 @@ from ..detect.scan import (
 from .pool import WorkerPool, get_pool, warm_pool
 from .sharding import partition_origins
 from .shm import SharedArray
-from .worker import ShardTask
+from .worker import ShardTask, _warm_engine
 
 if TYPE_CHECKING:
     from ..geo.scene import Scene
@@ -217,6 +218,8 @@ def parallel_scan_scene(
     start_method: str | None = None,
     pool: WorkerPool | None = None,
     reuse_pool: bool = True,
+    supervision=None,
+    deadline_s: float | None = None,
 ) -> ScanDetections:
     """Shard a scene scan across pool workers.
 
@@ -233,20 +236,43 @@ def parallel_scan_scene(
     pool for ``start_method`` is used — pass ``reuse_pool=False`` to
     force a private single-scan pool (cold path, mainly for
     benchmarking the pool's own benefit).
+
+    ``supervision`` (a ``repro.fleet.SupervisionPolicy``, or ``True``
+    for the defaults) replaces the pool's trusting FIFO dispatch with
+    the fleet supervisor: per-shard deadlines, hung/dead worker
+    kill-and-revive with redispatch, and poison-shard quarantine that
+    degrades to inline execution — recovery is invisible to the merge,
+    so the byte-identity contract holds under faults.  ``deadline_s``
+    bounds the whole dispatch (it implies supervision) and raises
+    :class:`~repro.detect.scan.ScanDeadlineError` on expiry.  When
+    supervision ran, the returned :class:`~repro.detect.ScanDetections`
+    carries the :class:`~repro.fleet.SupervisionReport` as a
+    ``.supervision`` attribute.
     """
+    if deadline_s is not None and deadline_s <= 0:
+        raise ValueError("deadline_s must be positive or None")
+    deadline_at = (time.monotonic() + deadline_s
+                   if deadline_s is not None else None)
     origins = scan_origins(scene.size, window, stride)
     n_workers = resolve_n_workers(
         n_workers, n_origins=len(origins), batch_size=batch_size,
         start_method=start_method,
         pool_warm=True if pool is not None else None,
     )
-    if n_workers == 1:
+    def sequential():
+        remaining = None
+        if deadline_at is not None:
+            remaining = max(deadline_at - time.monotonic(), 1e-3)
         return scan_scene(
             model, scene, window=window, stride=stride,
             confidence_threshold=confidence_threshold,
             nms_radius=nms_radius, batch_size=batch_size, backend=backend,
             sanitize=sanitize, journal=journal, resume=resume,
+            timeout_s=remaining,
         )
+
+    if n_workers == 1:
+        return sequential()
 
     image = np.asarray(scene.image)
     robust = sanitize is not None or journal is not None
@@ -255,12 +281,7 @@ def parallel_scan_scene(
 
     shards = partition_origins(len(origins), n_workers, batch_size)
     if len(shards) < 2:
-        return scan_scene(
-            model, scene, window=window, stride=stride,
-            confidence_threshold=confidence_threshold,
-            nms_radius=nms_radius, batch_size=batch_size, backend=backend,
-            sanitize=sanitize, journal=journal, resume=resume,
-        )
+        return sequential()
     meta = _scan_meta(scene.size, image.shape[0], window, stride,
                       confidence_threshold, backend)
 
@@ -272,14 +293,39 @@ def parallel_scan_scene(
             pool = own_pool = WorkerPool(len(shards),
                                          start_method=start_method)
     try:
+        if backend == "engine":
+            # Tune before shipping: compile (and autotune) every
+            # micro-batch shape this scan runs in the PARENT first, so
+            # ensure_model ships the parent's conv-variant choices and
+            # no worker re-measures a near-tie the other way — a
+            # Winograd-vs-GEMM flip changes float rounding, and the
+            # byte-identity contract needs every process binding the
+            # same kernels.  compiled_for caches per model instance, so
+            # repeat scans pay nothing here.
+            if robust:
+                sizes = {1}
+            else:
+                sizes = set()
+                for shard in shards:
+                    sizes.add(min(batch_size, shard.size))
+                    if shard.size % batch_size:
+                        sizes.add(shard.size % batch_size)
+            _warm_engine(model, image.shape[0], window, sorted(sizes))
         model_hash = pool.ensure_model(model)
+        run_tasks, report_cell = _make_task_runner(
+            pool, model, supervision=supervision, deadline_at=deadline_at,
+        )
         if robust:
-            return _parallel_robust(
+            result = _parallel_robust(
                 model_hash, image, origins, shards, meta, pool,
                 window=window, nms_radius=nms_radius, batch_size=batch_size,
                 backend=backend, confidence_threshold=confidence_threshold,
                 sanitize=sanitize, journal=journal, resume=resume,
+                run_tasks=run_tasks,
             )
+            if report_cell:
+                result.supervision = report_cell[0]
+            return result
 
         with SharedArray(image) as shared, ExitStack() as slabs_stack:
             # one result slab per shard, sized from its origin count:
@@ -303,7 +349,7 @@ def parallel_scan_scene(
                 )
                 for shard, slab in zip(shards, slabs)
             ]
-            payloads = pool.run(tasks)
+            payloads = run_tasks(tasks)
             # shard order == origin order: concatenation restores the
             # exact sequence the sequential scan feeds to threshold+NMS
             conf_parts, box_parts = [], []
@@ -322,12 +368,43 @@ def parallel_scan_scene(
         )
         coverage = ScanCoverage(tiles_total=len(origins),
                                 tiles_scanned=len(origins))
-        return ScanDetections(
+        result = ScanDetections(
             non_max_suppression(detections, radius=nms_radius), coverage
         )
+        if report_cell:
+            result.supervision = report_cell[0]
+        return result
     finally:
         if own_pool is not None:
             own_pool.close()
+
+
+def _make_task_runner(pool: WorkerPool, model, *, supervision,
+                      deadline_at: float | None):
+    """(run_tasks, report_cell): the shard dispatch strategy.
+
+    Plain ``pool.run`` unless supervision (or a deadline, which implies
+    it) was requested — then a ``repro.fleet.ShardSupervisor`` takes
+    over and its :class:`~repro.fleet.SupervisionReport` lands in
+    ``report_cell[0]``.  The fleet import stays lazy to keep
+    ``repro.scanpar`` importable without ``repro.fleet`` (which imports
+    back into this package).
+    """
+    report_cell: list = []
+    if not supervision and deadline_at is None:
+        return pool.run, report_cell
+    from ..fleet.supervise import ShardSupervisor, SupervisionPolicy
+
+    policy = supervision if isinstance(supervision, SupervisionPolicy) \
+        else None
+    supervisor = ShardSupervisor(pool, model, policy)
+
+    def run_tasks(tasks: list) -> list[dict]:
+        payloads, report = supervisor.run(tasks, deadline_at=deadline_at)
+        report_cell[:] = [report]
+        return payloads
+
+    return run_tasks, report_cell
 
 
 def _parallel_robust(
@@ -346,6 +423,7 @@ def _parallel_robust(
     sanitize,
     journal,
     resume: bool,
+    run_tasks,
 ) -> ScanDetections:
     """Sharded robust scan: per-shard journals merged into one."""
     from ..robust.journal import ScanJournal, TileRecord
@@ -359,11 +437,8 @@ def _parallel_robust(
         jr = journal if isinstance(journal, ScanJournal) else ScanJournal(journal)
     done: dict[int, TileRecord] = {}
     if jr is not None:
-        if resume and jr.exists():
-            jr.check_meta(meta)
-            jr.absorb_shards(meta)
-            _, replayed = jr.load()
-            done = {rec.index: rec for rec in replayed}
+        if resume:
+            done = jr.resume_or_start(meta)
         else:
             jr.start(meta)
 
@@ -384,7 +459,7 @@ def _parallel_robust(
             )
             for shard in shards
         ]
-        payloads = pool.run(tasks)
+        payloads = run_tasks(tasks)
 
     fresh = [rec for payload in payloads for rec in payload["records"]]
     if jr is not None:

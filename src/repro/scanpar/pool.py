@@ -45,15 +45,25 @@ import threading
 import time
 import traceback
 from collections import deque
+from contextlib import contextmanager
 from multiprocessing import connection as mp_connection
 from weakref import WeakKeyDictionary
 
 from .sharding import describe_shard
 
 __all__ = ["WorkerPool", "WorkerError", "serialized_model", "get_pool",
-           "warm_pool", "shutdown_pools"]
+           "warm_pool", "shutdown_pools", "DEFAULT_DISPATCH_TIMEOUT_S"]
 
 _SPAWN_HANDSHAKE_TIMEOUT_S = 120.0
+
+#: default run-level dispatch deadline.  PR 7 shipped ``run`` waiting
+#: with ``timeout=None`` — one wedged worker (alive but hung) stalled
+#: the parent forever.  Generous enough that no legitimate shard on any
+#: supported scene size approaches it; ``dispatch_timeout_s=None``
+#: restores the unbounded wait for callers who really want it.
+DEFAULT_DISPATCH_TIMEOUT_S = 300.0
+
+_UNSET = object()
 
 
 class WorkerError(RuntimeError):
@@ -116,6 +126,15 @@ def _pool_worker_main(conn) -> None:
             _, model_hash, data = message
             if model_hash not in models:
                 models[model_hash] = pickle.loads(data)
+        elif kind == "tune":
+            # adopt the parent's conv-variant choices before any shard
+            # compiles: parent and worker measure timings independently,
+            # and a near-tie flipped the other way (Winograd vs GEMM)
+            # changes float rounding — breaking byte-identity with the
+            # parent's sequential scan
+            from ..engine import autotune
+
+            autotune.seed(message[1])
         elif kind == "shard":
             task = message[1]
             try:
@@ -132,12 +151,22 @@ def _pool_worker_main(conn) -> None:
 class _Worker:
     """One pool slot: process, duplex pipe, and the model hashes sent."""
 
-    __slots__ = ("proc", "conn", "sent")
+    __slots__ = ("proc", "conn", "sent", "tuned")
 
     def __init__(self, proc, conn) -> None:
         self.proc = proc
         self.conn = conn
         self.sent: set[str] = set()
+        self.tuned: set = set()       # autotune ConvKeys already shipped
+
+    @property
+    def pid(self) -> int:
+        return self.proc.pid
+
+    def send_shard(self, task) -> None:
+        """Dispatch one shard task (the fleet supervisor's send primitive
+        — keeps the pipe message protocol inside this module)."""
+        self.conn.send(("shard", task))
 
 
 # ---------------------------------------------------------------------------
@@ -155,6 +184,15 @@ class WorkerPool:
     start_method : multiprocessing start method; defaults to
                    :func:`~repro.scanpar.default_start_method` (which
                    prefers ``spawn`` once the caller runs threads)
+    dispatch_timeout_s : run-level deadline for :meth:`run` — a worker
+                   that has not answered for its queued shards by then
+                   is presumed wedged: it is killed, revived, and the
+                   run raises :class:`WorkerError` naming the hung
+                   shards instead of blocking the parent forever.
+                   ``None`` restores the pre-fleet unbounded wait.
+                   Per-shard (rather than per-run) deadlines with
+                   redispatch instead of failure live one level up, in
+                   ``repro.fleet.supervise``.
 
     Thread-safe: :meth:`run` and :meth:`ensure_model` serialize on an
     internal lock, so a service thread and a CLI scan can share one
@@ -163,20 +201,25 @@ class WorkerPool:
     context manager) for an orderly shutdown.
     """
 
-    def __init__(self, n_workers: int, *, start_method: str | None = None
+    def __init__(self, n_workers: int, *, start_method: str | None = None,
+                 dispatch_timeout_s: float | None = DEFAULT_DISPATCH_TIMEOUT_S,
                  ) -> None:
         if n_workers < 1:
             raise ValueError("n_workers must be >= 1")
+        if dispatch_timeout_s is not None and dispatch_timeout_s <= 0:
+            raise ValueError("dispatch_timeout_s must be positive or None")
         from .parallel import default_start_method
 
         self.start_method = start_method or default_start_method()
+        self.dispatch_timeout_s = dispatch_timeout_s
         self._ctx = mp.get_context(self.start_method)
         self._lock = threading.RLock()
         self._closed = False
         self._workers: list[_Worker] = []
         self.spawn_ms = 0.0          # cumulative wall time spent spawning
         self.stats = {"workers_spawned": 0, "workers_revived": 0,
-                      "model_sends": 0, "tasks": 0, "runs": 0}
+                      "workers_killed": 0, "model_sends": 0, "tasks": 0,
+                      "runs": 0}
         with self._lock:
             self._spawn_locked(n_workers)
 
@@ -224,16 +267,44 @@ class WorkerPool:
 
         record_spawn_cost(self.start_method, elapsed_ms / max(n, 1))
 
+    def _replace_locked(self, worker: _Worker) -> _Worker:
+        """Swap ``worker`` for a freshly spawned one in the same slot
+        (killing it first if it is still alive).  The replacement's
+        model cache is empty, so its sent-set resets and
+        :meth:`ensure_model` re-sends — and ``compiled_for`` re-warms —
+        on the next scan."""
+        i = self._workers.index(worker)
+        if worker.proc.is_alive():
+            worker.proc.kill()
+            worker.proc.join(timeout=5.0)
+        worker.conn.close()
+        del self._workers[i]
+        self._spawn_locked(1)
+        self._workers.insert(i, self._workers.pop())
+        return self._workers[i]
+
     def _revive_locked(self) -> None:
         """Replace workers that died (their model caches are gone, so
         their sent-sets reset and :meth:`ensure_model` re-sends)."""
-        for i, worker in enumerate(self._workers):
+        for worker in list(self._workers):
             if not worker.proc.is_alive():
-                worker.conn.close()
-                del self._workers[i]
-                self._spawn_locked(1)
-                self._workers.insert(i, self._workers.pop())
+                self._replace_locked(worker)
                 self.stats["workers_revived"] += 1
+
+    def replace_worker(self, worker: _Worker) -> _Worker:
+        """Kill ``worker`` (if still alive) and spawn a replacement in
+        its slot; returns the fresh worker.
+
+        The fleet supervisor's recovery primitive: a worker that missed
+        its shard deadline — alive but wedged — is removed with SIGKILL
+        rather than trusted to notice a politer signal, and the pool
+        keeps its budget.  Counted in ``stats["workers_killed"]``.
+        """
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("pool is closed")
+            self.stats["workers_killed"] += 1
+            return self._replace_locked(worker)
 
     @property
     def n_workers(self) -> int:
@@ -288,8 +359,18 @@ class WorkerPool:
         Returns the model's content hash (the workers' cache key).
         Bytes travel over each worker's pipe at most once; repeat scans
         of the same model send nothing.
+
+        The parent's conv-variant autotune choices ride along (delta
+        per worker, tiny): a worker that measured the near-tie the
+        other way would bind a kernel with different float rounding
+        than the parent's sequential scan, so the parent's sticky
+        choices are authoritative pool-wide.  Replacement workers get
+        the full snapshot on their first ensure_model.
         """
+        from ..engine.autotune import snapshot
+
         data, model_hash = serialized_model(model)
+        decided = snapshot()
         with self._lock:
             if self._closed:
                 raise RuntimeError("pool is closed")
@@ -299,9 +380,32 @@ class WorkerPool:
                     worker.conn.send(("model", model_hash, data))
                     worker.sent.add(model_hash)
                     self.stats["model_sends"] += 1
+                delta = {key: variant for key, variant in decided.items()
+                         if key not in worker.tuned}
+                if delta:
+                    worker.conn.send(("tune", delta))
+                    worker.tuned.update(delta)
         return model_hash
 
-    def run(self, tasks: list) -> list[dict]:
+    @contextmanager
+    def exclusive(self):
+        """Hold the dispatch lock and yield the live worker list.
+
+        The fleet supervisor (:mod:`repro.fleet.supervise`) schedules
+        shards itself — one in flight per worker, per-shard deadlines,
+        redispatch on death — and this is its doorway: dead workers are
+        revived first, then the caller has exclusive use of the worker
+        pipes until the block exits.  Reentrant with :meth:`run` and
+        :meth:`replace_worker` (the lock is an RLock).
+        """
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("pool is closed")
+            self._revive_locked()
+            self.stats["runs"] += 1
+            yield self._workers
+
+    def run(self, tasks: list, timeout_s: float | None = _UNSET) -> list[dict]:
         """Run shard tasks on the pool; results return in task order.
 
         Tasks are assigned round-robin over the worker budget — more
@@ -310,9 +414,20 @@ class WorkerPool:
         :class:`WorkerError` naming the shard index and origin range;
         surviving workers finish their queued shards first, so the pool
         stays reusable after a failure.
+
+        ``timeout_s`` overrides the pool's ``dispatch_timeout_s`` for
+        this run.  When the deadline expires with shards still
+        unanswered, the wedged workers are killed and revived (their
+        queued shards fail with a clear deadline message in the raised
+        :class:`WorkerError`) — the parent never hangs on a stuck
+        worker, and the pool stays usable.
         """
         if not tasks:
             return []
+        if timeout_s is _UNSET:
+            timeout_s = self.dispatch_timeout_s
+        deadline = (time.monotonic() + timeout_s
+                    if timeout_s is not None else None)
         with self._lock:
             if self._closed:
                 raise RuntimeError("pool is closed")
@@ -360,10 +475,17 @@ class WorkerPool:
                     )
 
             while pending:
+                remaining = None
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        self._expire_locked(pending, by_conn, consume,
+                                            failures, timeout_s)
+                        break
                 sentinels = {by_conn[conn].proc.sentinel: conn
                              for conn in pending}
                 ready = mp_connection.wait(
-                    list(pending) + list(sentinels), timeout=None
+                    list(pending) + list(sentinels), timeout=remaining
                 )
                 for obj in ready:
                     if obj in pending:
@@ -382,6 +504,27 @@ class WorkerPool:
             if failures:
                 raise WorkerError("; ".join(failures))
             return [results[task.shard_index] for task in tasks]
+
+    def _expire_locked(self, pending, by_conn, consume, failures,
+                       timeout_s) -> None:
+        """Dispatch deadline hit: salvage buffered replies, then kill
+        and revive every worker still holding unanswered shards so the
+        next run starts with a clean pool (satellite fix for the
+        ``wait(..., timeout=None)`` hang)."""
+        for conn in list(pending):
+            while conn in pending and conn.poll(0):
+                consume(conn)
+        for conn in list(pending):
+            worker = by_conn[conn]
+            pid = worker.proc.pid
+            for task in pending.pop(conn):
+                failures.append(
+                    f"{_task_context(task)} missed the {timeout_s:.1f}s "
+                    f"dispatch deadline in worker pid={pid} "
+                    f"(worker killed and revived)"
+                )
+            self.stats["workers_killed"] += 1
+            self._replace_locked(worker)
 
 
 def _task_context(task) -> str:

@@ -121,6 +121,13 @@ class ServiceMetrics:
         self.invalid_inputs = Counter()
         self.scans = Counter()
         self.scan_tiles = Counter()
+        # fleet supervision telemetry (supervised bulk scans only)
+        self.scan_redispatches = Counter()
+        self.scan_workers_killed = Counter()
+        self.scan_worker_deaths = Counter()
+        self.scan_poison_shards = Counter()
+        self.scan_inline_shards = Counter()
+        self.scan_deadline_expired = Counter()
         self.queue_depth = Gauge()
         self.warmup_ms = Gauge()
         self.latency_ms = Histogram()
@@ -131,6 +138,17 @@ class ServiceMetrics:
         self._breaker_state = "closed"
         self._breaker_transitions: TallyCounter[str] = TallyCounter()
         self._lock = threading.Lock()
+
+    def record_supervision(self, report) -> None:
+        """Fold one scan's :class:`~repro.fleet.SupervisionReport` into
+        the fleet counters (no-op for unsupervised scans)."""
+        if report is None:
+            return
+        self.scan_redispatches.inc(report.redispatches)
+        self.scan_workers_killed.inc(report.deadline_kills)
+        self.scan_worker_deaths.inc(report.worker_deaths)
+        self.scan_poison_shards.inc(len(report.poison_shards))
+        self.scan_inline_shards.inc(len(report.inline_shards))
 
     # -- circuit breaker telemetry --------------------------------------
     def record_breaker_transition(self, old: str, new: str) -> None:
@@ -217,6 +235,12 @@ class ServiceMetrics:
             "invalid_inputs": self.invalid_inputs.value,
             "scans": self.scans.value,
             "scan_tiles": self.scan_tiles.value,
+            "scan_redispatches": self.scan_redispatches.value,
+            "scan_workers_killed": self.scan_workers_killed.value,
+            "scan_worker_deaths": self.scan_worker_deaths.value,
+            "scan_poison_shards": self.scan_poison_shards.value,
+            "scan_inline_shards": self.scan_inline_shards.value,
+            "scan_deadline_expired": self.scan_deadline_expired.value,
             "warmup_ms": self.warmup_ms.value,
             "fallback_by_reason": self.fallback_by_reason,
             "breaker_state": self.breaker_state,

@@ -422,7 +422,9 @@ class InferenceService:
                 self._scan_pool = pool
             return self._scan_pool
 
-    def scan_scene(self, scene, *, n_workers: int | str = 1, **scan_kwargs):
+    def scan_scene(self, scene, *, n_workers: int | str = 1,
+                   timeout_s: float | None = None, supervision=None,
+                   **scan_kwargs):
         """Scan a whole scene with this service's model.
 
         ``n_workers=1`` routes every window through the request path
@@ -436,7 +438,19 @@ class InferenceService:
         whole-scene throughput without holding the queue hostage for
         thousands of tiles.  Both paths tally ``metrics.scans`` /
         ``metrics.scan_tiles``.
+
+        ``timeout_s`` is this scan's per-request deadline, propagated
+        all the way down: on the request path it bounds each submitted
+        tile, on the bulk path it becomes the fleet supervisor's run
+        deadline over the shard dispatch — either way the call raises
+        :class:`~repro.detect.scan.ScanDeadlineError` rather than
+        outliving its budget.  ``supervision`` (a
+        ``repro.fleet.SupervisionPolicy``, or ``True``) supervises bulk
+        dispatch — hung/dead pool workers are killed, revived, and
+        their shards redispatched — and its recovery counts land in the
+        ``scan_*`` fleet metrics.
         """
+        from ..detect.scan import ScanDeadlineError
         from ..detect.scan import scan_scene as scan
 
         bulk = n_workers == "auto" or (
@@ -448,15 +462,69 @@ class InferenceService:
                 "needs backend='eager' or 'engine', not an injected "
                 "predict_fn"
             )
-        if bulk:
-            pool = self._ensure_scan_pool(n_workers)
-            result = scan(self.model, scene, backend=self.backend,
-                          n_workers=n_workers, pool=pool, **scan_kwargs)
-        else:
-            result = scan(self.model, scene, service=self, **scan_kwargs)
+        try:
+            if bulk:
+                pool = self._ensure_scan_pool(n_workers)
+                result = scan(self.model, scene, backend=self.backend,
+                              n_workers=n_workers, pool=pool,
+                              timeout_s=timeout_s, supervision=supervision,
+                              **scan_kwargs)
+            else:
+                result = scan(self.model, scene, service=self,
+                              timeout_s=timeout_s, **scan_kwargs)
+        except ScanDeadlineError:
+            self.metrics.scan_deadline_expired.inc()
+            raise
         self.metrics.scans.inc()
         self.metrics.scan_tiles.inc(result.coverage.tiles_total)
+        self.metrics.record_supervision(getattr(result, "supervision", None))
         return result
+
+    def scan_many(self, jobs, *, workdir, n_workers: int | str = "auto",
+                  supervision=None, queue_path=None, **fleet_kwargs):
+        """Scan a batch of scenes as a durable fleet sweep.
+
+        ``jobs`` maps job id -> ``WatershedConfig`` (or a payload the
+        fleet's scene provider understands).  Builds a
+        :class:`repro.fleet.ScanFleet` over a job queue at
+        ``queue_path`` (default ``<workdir>/queue.jsonl``), submits
+        every job (idempotently — resubmitting a sweep that crashed
+        resumes it), drains the queue with this service's model, and
+        returns the sweep summary.  Per-scene crash recovery, retries,
+        and dead-lettering follow the fleet semantics in
+        ``docs/fleet.md``; supervision recovery counts fold into the
+        ``scan_*`` fleet metrics.
+        """
+        from pathlib import Path
+
+        from ..fleet import JobQueue, ScanFleet
+
+        if self.backend == "custom":
+            raise ValueError(
+                "fleet scanning runs the model directly and needs "
+                "backend='eager' or 'engine', not an injected predict_fn"
+            )
+        workdir = Path(workdir)
+        queue = JobQueue(queue_path or workdir / "queue.jsonl")
+        fleet = ScanFleet(queue, self.model, workdir=workdir,
+                          n_workers=n_workers, supervision=supervision,
+                          **fleet_kwargs)
+        for job_id, config in jobs.items():
+            fleet.submit_scene(job_id, config, backend=self.backend)
+        summary = fleet.run()
+        for job in summary["results"].values():
+            self.metrics.scans.inc()
+            self.metrics.scan_tiles.inc(job.get("tiles_total", 0))
+            sup = job.get("supervision")
+            if sup:
+                self.metrics.scan_redispatches.inc(sup["redispatches"])
+                self.metrics.scan_workers_killed.inc(sup["deadline_kills"])
+                self.metrics.scan_worker_deaths.inc(sup["worker_deaths"])
+                self.metrics.scan_poison_shards.inc(
+                    len(sup["poison_shards"]))
+                self.metrics.scan_inline_shards.inc(
+                    len(sup["inline_shards"]))
+        return summary
 
     def shutdown(self, drain: bool = True, timeout_s: float | None = None) -> None:
         """Stop the service.

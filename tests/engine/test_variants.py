@@ -214,3 +214,57 @@ class TestAutotuner:
         monkeypatch.setenv("REPRO_CONV_VARIANT", "fft")
         with pytest.raises(ValueError):
             choose_variant(key(), lambda v: v, bench=lambda fn: 0.0, cache={})
+
+
+class TestSnapshotSeed:
+    """Cross-process choice shipping: the worker pool sends the parent's
+    sticky choices so every process binds the same kernels."""
+
+    @pytest.fixture()
+    def fresh_keys(self):
+        # deliberately implausible geometry so these keys can never
+        # collide with real autotuned entries in the process-wide cache
+        from repro.engine import autotune
+
+        keys = [key(height=7777, width=7777),
+                key(height=7777, width=7778)]
+        yield keys
+        with autotune._lock:
+            for k in keys:
+                autotune._cache.pop(k, None)
+
+    def test_seed_then_snapshot_roundtrips(self, fresh_keys):
+        from repro.engine import autotune
+
+        k1, k2 = fresh_keys
+        autotune.seed({k1: "winograd23", k2: "im2col_tiled"})
+        snap = autotune.snapshot()
+        assert snap[k1] == "winograd23"
+        assert snap[k2] == "im2col_tiled"
+
+    def test_seeded_choice_wins_over_local_measurement(self, fresh_keys):
+        # a seeded process must bind the parent's kernel even when its
+        # own timings would pick another variant
+        from repro.engine import autotune
+
+        k1 = fresh_keys[0]
+        autotune.seed({k1: "winograd23"})
+        rigged = {"im2col": 0.1, "im2col_tiled": 0.2, "winograd23": 9.0}
+        choice = choose_variant(k1, lambda v: v, bench=rigged.get)
+        assert choice == "winograd23"
+
+    def test_local_sticky_choice_survives_seeding(self, fresh_keys):
+        from repro.engine import autotune
+
+        k1 = fresh_keys[0]
+        rigged = {"im2col": 0.1, "im2col_tiled": 0.2, "winograd23": 9.0}
+        assert choose_variant(k1, lambda v: v, bench=rigged.get) == "im2col"
+        autotune.seed({k1: "winograd23"})
+        assert autotune.snapshot()[k1] == "im2col"
+
+    def test_seed_rejects_unknown_variant(self, fresh_keys):
+        from repro.engine import autotune
+
+        with pytest.raises(ValueError, match="unknown conv variant"):
+            autotune.seed({fresh_keys[0]: "fft"})
+        assert fresh_keys[0] not in autotune.snapshot()

@@ -1,0 +1,214 @@
+"""JobQueue: leases, heartbeats, backoff, dead-letter, crash replay.
+
+All timing runs on an injected fake clock, so lease expiry and backoff
+gates are exact instead of sleep-based.
+"""
+
+import json
+
+import pytest
+
+from repro.faults import tear_trailing_line
+from repro.fleet import DEAD, DONE, LEASED, PENDING, JobQueue, JobQueueError
+from repro.nas.retry import RetryPolicy
+
+PAYLOAD = {"scene": {"size": 64}, "scan": {}}
+
+
+@pytest.fixture
+def clock():
+    """Mutable fake wall clock: ``clock.now`` is the current time."""
+
+    class _Clock:
+        now = 1_000.0
+
+        def __call__(self):
+            return self.now
+
+    return _Clock()
+
+
+def make_queue(tmp_path, clock, **kwargs):
+    kwargs.setdefault("retry", RetryPolicy(max_attempts=3, backoff_s=10.0,
+                                           multiplier=2.0, jitter=0.0,
+                                           max_backoff_s=100.0))
+    kwargs.setdefault("lease_ttl_s", 60.0)
+    return JobQueue(tmp_path / "queue.jsonl", clock=clock, **kwargs)
+
+
+class TestSubmit:
+    def test_submit_then_claim_in_order(self, tmp_path, clock):
+        queue = make_queue(tmp_path, clock)
+        assert queue.submit("a", PAYLOAD)
+        assert queue.submit("b", PAYLOAD)
+        first = queue.claim("w1")
+        second = queue.claim("w1")
+        assert (first.job_id, second.job_id) == ("a", "b")
+        assert first.payload == PAYLOAD
+        assert first.attempts == 1
+        assert queue.claim("w1") is None
+
+    def test_resubmit_same_payload_is_noop(self, tmp_path, clock):
+        queue = make_queue(tmp_path, clock)
+        assert queue.submit("a", PAYLOAD)
+        assert not queue.submit("a", PAYLOAD)
+        assert queue.job_ids() == ["a"]
+
+    def test_resubmit_different_payload_raises(self, tmp_path, clock):
+        queue = make_queue(tmp_path, clock)
+        queue.submit("a", PAYLOAD)
+        with pytest.raises(JobQueueError, match="different payload"):
+            queue.submit("a", {"scene": {"size": 128}, "scan": {}})
+
+    def test_lease_ttl_validation(self, tmp_path, clock):
+        with pytest.raises(ValueError, match="lease_ttl_s"):
+            make_queue(tmp_path, clock, lease_ttl_s=0.0)
+
+
+class TestLifecycle:
+    def test_complete_records_result(self, tmp_path, clock):
+        queue = make_queue(tmp_path, clock)
+        queue.submit("a", PAYLOAD)
+        job = queue.claim("w1")
+        queue.complete(job.job_id, "w1", result={"detections": 3})
+        assert queue.status("a") == DONE
+        assert queue.result("a") == {"detections": 3}
+        assert queue.counts() == {PENDING: 0, LEASED: 0, DONE: 1, DEAD: 0}
+        assert queue.drained()
+
+    def test_complete_requires_the_lease(self, tmp_path, clock):
+        queue = make_queue(tmp_path, clock)
+        queue.submit("a", PAYLOAD)
+        queue.claim("w1")
+        with pytest.raises(JobQueueError, match="not leased by"):
+            queue.complete("a", "w2")
+
+    def test_heartbeat_extends_lease(self, tmp_path, clock):
+        queue = make_queue(tmp_path, clock)
+        queue.submit("a", PAYLOAD)
+        queue.claim("w1")
+        clock.now += 50.0          # lease would die at +60
+        queue.heartbeat("a", "w1")
+        clock.now += 50.0          # +100: dead without the heartbeat
+        assert queue.status("a") == LEASED
+        queue.complete("a", "w1")
+        assert queue.status("a") == DONE
+
+    def test_expired_lease_is_reclaimable_and_attempt_stays_spent(
+            self, tmp_path, clock):
+        queue = make_queue(tmp_path, clock)
+        queue.submit("a", PAYLOAD)
+        queue.claim("w1")
+        clock.now += 61.0
+        assert queue.status("a") == PENDING
+        reclaimed = queue.claim("w2")
+        assert reclaimed.job_id == "a"
+        assert reclaimed.attempts == 2       # the crashed run counted
+        # the original owner lost the job and must not complete it
+        with pytest.raises(JobQueueError, match="not leased by"):
+            queue.complete("a", "w1")
+        with pytest.raises(JobQueueError):
+            queue.heartbeat("a", "w1")
+
+    def test_heartbeat_after_expiry_raises(self, tmp_path, clock):
+        queue = make_queue(tmp_path, clock)
+        queue.submit("a", PAYLOAD)
+        queue.claim("w1")
+        clock.now += 61.0
+        with pytest.raises(JobQueueError, match="expired"):
+            queue.heartbeat("a", "w1")
+
+
+class TestRetries:
+    def test_fail_gates_retry_behind_backoff(self, tmp_path, clock):
+        queue = make_queue(tmp_path, clock)
+        queue.submit("a", PAYLOAD)
+        queue.claim("w1")
+        assert queue.fail("a", "w1", "boom") == PENDING
+        assert queue.claim("w1") is None        # not_before = now + 10
+        clock.now += 10.0
+        job = queue.claim("w1")
+        assert job is not None and job.attempts == 2
+
+    def test_backoff_grows_exponentially(self, tmp_path, clock):
+        queue = make_queue(tmp_path, clock)
+        queue.submit("a", PAYLOAD)
+        queue.claim("w1")
+        queue.fail("a", "w1", "boom")
+        clock.now += 10.0
+        queue.claim("w1")
+        queue.fail("a", "w1", "boom again")
+        clock.now += 10.0                       # second delay is 20 s
+        assert queue.claim("w1") is None
+        clock.now += 10.0
+        assert queue.claim("w1") is not None
+
+    def test_budget_exhaustion_dead_letters(self, tmp_path, clock):
+        queue = make_queue(tmp_path, clock,
+                           retry=RetryPolicy(max_attempts=2, backoff_s=0.0,
+                                             jitter=0.0))
+        queue.submit("a", PAYLOAD)
+        queue.claim("w1")
+        assert queue.fail("a", "w1", "first") == PENDING
+        queue.claim("w1")
+        assert queue.fail("a", "w1", "second") == DEAD
+        assert queue.status("a") == DEAD
+        assert queue.dead_letters() == {"a": "second"}
+        assert queue.claim("w1") is None
+        assert queue.drained()
+
+    def test_lost_leases_spend_the_budget(self, tmp_path, clock):
+        """A job whose final attempt died with its lease is dead-lettered
+        at the next claim — never silently stuck pending."""
+        queue = make_queue(tmp_path, clock,
+                           retry=RetryPolicy(max_attempts=1, backoff_s=0.0,
+                                             jitter=0.0))
+        queue.submit("a", PAYLOAD)
+        queue.claim("w1")
+        clock.now += 61.0
+        assert queue.claim("w2") is None
+        assert queue.status("a") == DEAD
+        assert "a" in queue.dead_letters()
+
+
+class TestDurability:
+    def test_replay_restores_full_state(self, tmp_path, clock):
+        queue = make_queue(tmp_path, clock)
+        queue.submit("a", PAYLOAD)
+        queue.submit("b", PAYLOAD)
+        queue.submit("c", PAYLOAD)
+        queue.claim("w1")
+        queue.complete("a", "w1", result={"detections": 2})
+        queue.claim("w1")
+        queue.fail("b", "w1", "boom")
+        reopened = make_queue(tmp_path, clock)
+        assert reopened.job_ids() == ["a", "b", "c"]
+        assert reopened.status("a") == DONE
+        assert reopened.result("a") == {"detections": 2}
+        assert reopened.status("b") == PENDING
+        assert reopened.attempts("b") == 1
+        assert reopened.status("c") == PENDING
+
+    def test_torn_trailing_event_is_dropped_on_reopen(self, tmp_path, clock):
+        queue = make_queue(tmp_path, clock)
+        queue.submit("a", PAYLOAD)
+        queue.submit("b", PAYLOAD)
+        assert tear_trailing_line(queue.path) > 0
+        reopened = make_queue(tmp_path, clock)
+        # the torn submit of "b" is gone; resubmitting it works
+        assert reopened.job_ids() == ["a"]
+        assert reopened.submit("b", PAYLOAD)
+        assert reopened.job_ids() == ["a", "b"]
+
+    def test_foreign_file_is_rejected(self, tmp_path, clock):
+        path = tmp_path / "queue.jsonl"
+        path.write_text(json.dumps({"kind": "scan_journal"}) + "\n")
+        with pytest.raises(JobQueueError, match="not a fleet queue"):
+            JobQueue(path, clock=clock)
+
+    def test_unsupported_version_is_rejected(self, tmp_path, clock):
+        path = tmp_path / "queue.jsonl"
+        path.write_text(
+            json.dumps({"kind": "fleet_queue", "version": 99}) + "\n")
+        with pytest.raises(JobQueueError, match="version"):
+            JobQueue(path, clock=clock)

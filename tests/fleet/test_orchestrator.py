@@ -1,0 +1,128 @@
+"""ScanFleet: durable multi-scene sweeps, retries, dead-letter, resume."""
+
+import pytest
+
+from repro.detect import scan_scene
+from repro.fleet import DEAD, DONE, PENDING, JobQueue, ScanFleet
+from repro.nas.retry import RetryPolicy
+
+from .conftest import SCENE_CONFIG
+
+SCAN_KWARGS = dict(window=64, stride=32, batch_size=8,
+                   confidence_threshold=0.3)
+
+
+def make_fleet(tmp_path, model, scene, **kwargs):
+    kwargs.setdefault("queue", JobQueue(tmp_path / "queue.jsonl"))
+    kwargs.setdefault("n_workers", 1)
+    kwargs.setdefault("scene_provider", lambda payload: scene)
+    queue = kwargs.pop("queue")
+    return ScanFleet(queue, model, workdir=tmp_path / "work", **kwargs)
+
+
+class TestSweep:
+    def test_sweep_drains_and_matches_direct_scan(self, tmp_path, model,
+                                                  scene):
+        fleet = make_fleet(tmp_path, model, scene)
+        assert fleet.submit_scene("j1", SCENE_CONFIG, **SCAN_KWARGS)
+        assert fleet.submit_scene("j2", SCENE_CONFIG, **SCAN_KWARGS)
+        summary = fleet.run()
+        direct = scan_scene(model, scene,
+                            journal=str(tmp_path / "direct.jsonl"),
+                            **SCAN_KWARGS)
+        assert summary["jobs_run"] == 2
+        assert summary["counts"][DONE] == 2
+        assert summary["dead_letters"] == {}
+        assert summary["outcomes"] == {"j1": ["done"], "j2": ["done"]}
+        for job_id in ("j1", "j2"):
+            result = summary["results"][job_id]
+            assert result["detections"] == len(direct)
+            assert result["tiles_scanned"] == result["tiles_total"] \
+                == direct.coverage.tiles_total
+            assert result["tiles_quarantined"] == 0
+            assert fleet.journal_path(job_id).exists()
+        assert fleet.queue.drained()
+
+    def test_run_one_returns_none_when_idle(self, tmp_path, model, scene):
+        fleet = make_fleet(tmp_path, model, scene)
+        assert fleet.run_one() is None
+
+    def test_submit_rejects_unknown_scan_kwargs(self, tmp_path, model,
+                                                scene):
+        fleet = make_fleet(tmp_path, model, scene)
+        with pytest.raises(ValueError, match="unsupported scan parameters"):
+            fleet.submit_scene("j1", SCENE_CONFIG, n_workers=4)
+
+    def test_default_provider_rebuilds_scene_from_payload(
+            self, tmp_path, model, scene):
+        # no injected provider: the payload's WatershedConfig rebuilds
+        # the exact pixels, so detections match the prebuilt scene's
+        fleet = ScanFleet(JobQueue(tmp_path / "q2.jsonl"), model,
+                          workdir=tmp_path / "work2", n_workers=1)
+        fleet.submit_scene("j1", SCENE_CONFIG, **SCAN_KWARGS)
+        summary = fleet.run()
+        direct = scan_scene(model, scene,
+                            journal=str(tmp_path / "direct2.jsonl"),
+                            **SCAN_KWARGS)
+        assert summary["counts"][DONE] == 1
+        assert summary["results"]["j1"]["detections"] == len(direct)
+
+
+class TestFailures:
+    def test_broken_scene_retries_then_dead_letters(self, tmp_path, model,
+                                                    scene):
+        def broken_provider(payload):
+            raise RuntimeError("no such raster")
+
+        queue = JobQueue(tmp_path / "queue.jsonl",
+                         retry=RetryPolicy(max_attempts=2, backoff_s=0.0,
+                                           jitter=0.0))
+        fleet = make_fleet(tmp_path, model, scene, queue=queue,
+                           scene_provider=broken_provider)
+        fleet.submit_scene("bad", SCENE_CONFIG, **SCAN_KWARGS)
+        summary = fleet.run()
+        assert summary["outcomes"]["bad"] == ["failed", "dead"]
+        assert summary["counts"][DEAD] == 1
+        assert "RuntimeError: no such raster" in \
+            summary["dead_letters"]["bad"]
+        assert queue.drained()
+
+    def test_one_broken_scene_does_not_block_the_sweep(self, tmp_path,
+                                                       model, scene):
+        def provider(payload):
+            if payload["scene"]["seed"] == 999:
+                raise RuntimeError("poisoned scene")
+            return scene
+
+        queue = JobQueue(tmp_path / "queue.jsonl",
+                         retry=RetryPolicy(max_attempts=1, backoff_s=0.0,
+                                           jitter=0.0))
+        fleet = make_fleet(tmp_path, model, scene, queue=queue,
+                           scene_provider=provider)
+        fleet.submit_scene("good", SCENE_CONFIG, **SCAN_KWARGS)
+        from dataclasses import replace
+        fleet.submit_scene("bad", replace(SCENE_CONFIG, seed=999),
+                           **SCAN_KWARGS)
+        summary = fleet.run()
+        assert summary["counts"][DONE] == 1
+        assert summary["counts"][DEAD] == 1
+        assert summary["counts"][PENDING] == 0
+        assert "good" in summary["results"]
+
+
+class TestResume:
+    def test_retried_job_resumes_its_journal(self, tmp_path, model, scene):
+        # sweep once to completion, then re-run the same job id against
+        # the same workdir through a fresh queue: the scan must resume
+        # the finished journal instead of rescanning a single tile
+        first = make_fleet(tmp_path, model, scene)
+        first.submit_scene("j1", SCENE_CONFIG, **SCAN_KWARGS)
+        before = first.run()["results"]["j1"]
+        assert before["tiles_resumed"] == 0
+
+        second = make_fleet(tmp_path, model, scene,
+                            queue=JobQueue(tmp_path / "queue2.jsonl"))
+        second.submit_scene("j1", SCENE_CONFIG, **SCAN_KWARGS)
+        after = second.run()["results"]["j1"]
+        assert after["tiles_resumed"] == after["tiles_total"]
+        assert after["detections"] == before["detections"]

@@ -1,0 +1,265 @@
+"""ShardSupervisor: deadlines, revival, redispatch, poison quarantine.
+
+Every recovery test asserts the core contract — detections byte-identical
+to the fault-free sequential scan — because recovery that changes the
+merge is worse than no recovery at all.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.detect.scan import ScanDeadlineError, scan_origins
+from repro.faults import FaultyDetector, WorkerFaultPlan
+from repro.fleet import ShardSupervisor, SupervisionPolicy
+from repro.scanpar import (
+    SharedArray,
+    ShardTask,
+    WorkerError,
+    WorkerPool,
+    parallel_scan_scene,
+)
+from repro.scanpar.sharding import partition_origins
+
+WINDOW = 64
+STRIDE = 32
+BATCH = 8
+
+
+def scan(model, scene, **kwargs):
+    kwargs.setdefault("window", WINDOW)
+    kwargs.setdefault("stride", STRIDE)
+    kwargs.setdefault("confidence_threshold", 0.3)
+    kwargs.setdefault("batch_size", BATCH)
+    kwargs.setdefault("backend", "eager")
+    return parallel_scan_scene(model, scene, **kwargs)
+
+
+def make_tasks(scene, shared, model_hash):
+    origins = scan_origins(scene.size, WINDOW, STRIDE)
+    shards = partition_origins(len(origins), 2, BATCH)
+    assert len(shards) >= 2
+    return [
+        ShardTask(shard_index=s.index, start=s.start, stop=s.stop,
+                  shm=shared.spec(), model_hash=model_hash,
+                  scene_size=scene.size, window=WINDOW, stride=STRIDE,
+                  batch_size=BATCH, backend="eager",
+                  confidence_threshold=0.3)
+        for s in shards
+    ]
+
+
+class ExplodingModel:
+    """Picklable model stand-in that fails everywhere, parent included."""
+
+    def eval(self):
+        return self
+
+    def __call__(self, *args, **kwargs):
+        raise RuntimeError("boom")
+
+
+class TestPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="shard_deadline_s"):
+            SupervisionPolicy(shard_deadline_s=0.0)
+        with pytest.raises(ValueError, match="max_attempts"):
+            SupervisionPolicy(max_attempts=0)
+        with pytest.raises(ValueError, match="probe_interval_s"):
+            SupervisionPolicy(probe_interval_s=0.0)
+        assert SupervisionPolicy(shard_deadline_s=None).shard_deadline_s is None
+
+
+class TestCleanRuns:
+    def test_supervised_scan_matches_sequential(self, model, scene):
+        sequential = scan(model, scene, n_workers=1)
+        with WorkerPool(2) as pool:
+            result = scan(model, scene, n_workers=2, pool=pool,
+                          supervision=True)
+        report = result.supervision
+        assert list(result) == list(sequential)
+        assert result.coverage == sequential.coverage
+        assert report is not None and report.clean
+        assert report.shards_total >= 2
+        assert all(n == 1 for n in report.attempts.values())
+
+    def test_unsupervised_scan_carries_no_report(self, model, scene):
+        with WorkerPool(2) as pool:
+            result = scan(model, scene, n_workers=2, pool=pool)
+        assert getattr(result, "supervision", None) is None
+
+    def test_report_json_roundtrip(self, model, scene):
+        with WorkerPool(2) as pool:
+            result = scan(model, scene, n_workers=2, pool=pool,
+                          supervision=SupervisionPolicy())
+        snap = result.supervision.to_json()
+        assert snap["shards_total"] == result.supervision.shards_total
+        assert snap["deadline_kills"] == 0
+        assert snap["poison_shards"] == []
+        import json
+        json.dumps(snap)  # must be JSON-safe for queue result summaries
+
+
+class TestFaultRecovery:
+    def test_hung_worker_is_killed_and_shard_redispatched(
+            self, model, scene, tmp_path):
+        sequential = scan(model, scene, n_workers=1)
+        plan = WorkerFaultPlan(faults={0: "hang"},
+                               fuse_dir=str(tmp_path / "fuses"))
+        faulty = FaultyDetector(model, plan)
+        policy = SupervisionPolicy(shard_deadline_s=1.5,
+                                   probe_interval_s=0.25)
+        t0 = time.monotonic()
+        with WorkerPool(2) as pool:
+            result = scan(faulty, scene, n_workers=2, pool=pool,
+                          supervision=policy)
+        elapsed = time.monotonic() - t0
+        report = result.supervision
+        assert list(result) == list(sequential)
+        assert report.deadline_kills >= 1
+        assert report.redispatches >= 1
+        assert report.workers_replaced >= 1
+        assert not report.clean
+        # the hung worker must never stall dispatch much past its
+        # deadline: kill latency is bounded by the probe interval
+        assert report.max_overshoot_s <= 1.0
+        assert elapsed < 30.0
+        assert plan.fired() == 1
+
+    def test_sigkilled_worker_is_replaced_without_leaks(
+            self, model, scene, tmp_path):
+        if not os.path.isdir("/dev/shm"):
+            pytest.skip("no /dev/shm to observe")
+        sequential = scan(model, scene, n_workers=1)
+        before = set(os.listdir("/dev/shm"))
+        plan = WorkerFaultPlan(faults={0: "kill"},
+                               fuse_dir=str(tmp_path / "fuses"))
+        faulty = FaultyDetector(model, plan)
+        with WorkerPool(2) as pool:
+            result = scan(faulty, scene, n_workers=2, pool=pool,
+                          supervision=True)
+            report = result.supervision
+            # re-warm: 2 initial model sends + 1 to the replacement
+            assert pool.stats["model_sends"] == 3
+            # the revived pool keeps working on a clean follow-up scan
+            again = scan(faulty, scene, n_workers=2, pool=pool,
+                         supervision=True)
+        after = set(os.listdir("/dev/shm"))
+        leaked = {n for n in after - before if n.startswith("psm_")}
+        assert leaked == set()
+        assert list(result) == list(sequential)
+        assert list(again) == list(sequential)
+        assert report.worker_deaths >= 1
+        assert report.workers_replaced >= 1
+        assert again.supervision.clean  # the kill fuse fired exactly once
+
+    def test_erroring_shard_redispatches_and_recovers(
+            self, model, scene, tmp_path):
+        sequential = scan(model, scene, n_workers=1)
+        plan = WorkerFaultPlan(faults={0: "error"},
+                               fuse_dir=str(tmp_path / "fuses"))
+        faulty = FaultyDetector(model, plan)
+        with WorkerPool(2) as pool:
+            result = scan(faulty, scene, n_workers=2, pool=pool,
+                          supervision=True)
+        report = result.supervision
+        assert list(result) == list(sequential)
+        assert report.redispatches >= 1
+        # the worker survived its shard's exception: no kills, no deaths
+        assert report.worker_deaths == 0
+        assert report.deadline_kills == 0
+        assert report.workers_replaced == 0
+
+    def test_slow_worker_needs_no_recovery(self, model, scene, tmp_path):
+        sequential = scan(model, scene, n_workers=1)
+        plan = WorkerFaultPlan(faults={0: "slow"}, slow_s=0.2,
+                               fuse_dir=str(tmp_path / "fuses"))
+        faulty = FaultyDetector(model, plan)
+        policy = SupervisionPolicy(shard_deadline_s=30.0)
+        with WorkerPool(2) as pool:
+            result = scan(faulty, scene, n_workers=2, pool=pool,
+                          supervision=policy)
+        assert list(result) == list(sequential)
+        assert result.supervision.clean
+
+    def test_poison_shard_degrades_to_inline(self, model, scene, tmp_path):
+        sequential = scan(model, scene, n_workers=1)
+        # enough error fuses that every worker attempt fails: both
+        # shards exhaust max_attempts and must run inline in the parent
+        # (where FaultyDetector never faults, by construction)
+        plan = WorkerFaultPlan(faults={n: "error" for n in range(12)},
+                               fuse_dir=str(tmp_path / "fuses"))
+        faulty = FaultyDetector(model, plan)
+        policy = SupervisionPolicy(max_attempts=2)
+        with WorkerPool(2) as pool:
+            result = scan(faulty, scene, n_workers=2, pool=pool,
+                          supervision=policy)
+        report = result.supervision
+        assert list(result) == list(sequential)
+        assert sorted(report.poison_shards) == sorted(report.inline_shards)
+        assert len(report.poison_shards) >= 1
+        assert all(n == 2 for n in report.attempts.values())
+
+    def test_inline_failure_raises_worker_error(self, scene):
+        policy = SupervisionPolicy(max_attempts=1)
+        with WorkerPool(2) as pool:
+            with pytest.raises(WorkerError, match="again inline"):
+                scan(ExplodingModel(), scene, n_workers=2, pool=pool,
+                     supervision=policy)
+
+
+class TestDeadlines:
+    def test_expired_deadline_aborts_and_pool_survives(self, model, scene):
+        with WorkerPool(2) as pool, SharedArray(scene.image) as shared:
+            model_hash = pool.ensure_model(model)
+            tasks = make_tasks(scene, shared, model_hash)
+            supervisor = ShardSupervisor(
+                pool, model, SupervisionPolicy(shard_deadline_s=None))
+            with pytest.raises(ScanDeadlineError, match="shards unfinished"):
+                supervisor.run(tasks, deadline_at=time.monotonic() - 1.0)
+            # abort cleared the stragglers: the pool can scan again
+            payloads, report = supervisor.run(make_tasks(scene, shared,
+                                                         model_hash))
+            assert len(payloads) == len(tasks)
+        sequential = scan(model, scene, n_workers=1)
+        with WorkerPool(2) as pool2:
+            result = scan(model, scene, n_workers=2, pool=pool2)
+        assert list(result) == list(sequential)
+
+    def test_hung_scan_hits_overall_deadline(self, model, scene, tmp_path):
+        plan = WorkerFaultPlan(faults={0: "hang", 1: "hang"},
+                               fuse_dir=str(tmp_path / "fuses"))
+        faulty = FaultyDetector(model, plan)
+        policy = SupervisionPolicy(shard_deadline_s=None,
+                                   probe_interval_s=0.1)
+        t0 = time.monotonic()
+        with WorkerPool(2) as pool:
+            with pytest.raises(ScanDeadlineError):
+                scan(faulty, scene, n_workers=2, pool=pool,
+                     supervision=policy, deadline_s=0.8)
+        assert time.monotonic() - t0 < 15.0
+
+    def test_deadline_abort_is_resumable(self, model, scene, tmp_path):
+        """Crash-resume across a deadline abort: the journaled retry
+        completes and matches a fault-free robust scan byte for byte."""
+        plan = WorkerFaultPlan(faults={0: "hang", 1: "hang"},
+                               fuse_dir=str(tmp_path / "fuses"))
+        faulty = FaultyDetector(model, plan)
+        policy = SupervisionPolicy(shard_deadline_s=None,
+                                   probe_interval_s=0.1)
+        journal = tmp_path / "scan.journal.jsonl"
+        with WorkerPool(2) as pool:
+            with pytest.raises(ScanDeadlineError):
+                scan(faulty, scene, n_workers=2, pool=pool,
+                     journal=str(journal), resume=True,
+                     supervision=policy, deadline_s=0.8)
+            # both hang fuses burned in attempt one: the resume is clean
+            resumed = scan(faulty, scene, n_workers=2, pool=pool,
+                           journal=str(journal), resume=True,
+                           supervision=policy)
+        reference = scan(faulty, scene, n_workers=1,
+                         journal=str(tmp_path / "ref.journal.jsonl"))
+        assert list(resumed) == list(reference)
+        assert resumed.coverage.tiles_total == reference.coverage.tiles_total
+        assert resumed.coverage.tiles_quarantined == 0

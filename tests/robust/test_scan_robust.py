@@ -242,6 +242,28 @@ class TestJournalResume:
         _, records = ScanJournal(path).load()
         assert len(records) == len(scan_origins(scene.size, WINDOW, STRIDE))
 
+    def test_torn_record_is_rescanned_on_resume(self, scene, model,
+                                                tmp_path):
+        """Tearing the journal mid-way through its *last complete
+        record* (what SIGKILL during an unflushed append leaves) loses
+        exactly that tile; a resume rescans it and converges to the
+        uninterrupted scan byte for byte."""
+        from repro.faults import tear_trailing_line
+
+        full_path = tmp_path / "full.jsonl"
+        full = self.scan(model, scene, full_path)
+        torn_path = tmp_path / "torn.jsonl"
+        torn_path.write_text(full_path.read_text())
+        assert tear_trailing_line(torn_path) > 0
+
+        resumed = self.scan(model, scene, torn_path, resume=True)
+        assert json.dumps([d.__dict__ for d in resumed]) \
+            == json.dumps([d.__dict__ for d in full])
+        assert resumed.coverage.tiles_resumed \
+            == resumed.coverage.tiles_total - 1
+        # the repaired journal converges to the full one
+        assert torn_path.read_text() == full_path.read_text()
+
     def test_fresh_scan_truncates_stale_journal(self, scene, model, tmp_path):
         path = tmp_path / "scan.jsonl"
         path.write_text('{"kind": "scan_header", "window": 1}\n')

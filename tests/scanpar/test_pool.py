@@ -80,6 +80,26 @@ class ExplodingModel:
         raise RuntimeError("boom")
 
 
+class HangingModel:
+    """Picklable model stand-in that wedges its worker forever."""
+
+    def eval(self):
+        return self
+
+    def __call__(self, *args, **kwargs):
+        time.sleep(3600)
+
+
+class SelfKillingModel:
+    """Picklable model stand-in that SIGKILLs its worker mid-shard."""
+
+    def eval(self):
+        return self
+
+    def __call__(self, *args, **kwargs):
+        os.kill(os.getpid(), signal.SIGKILL)
+
+
 class TestPoolReuse:
     def test_consecutive_scans_reuse_workers(self, model, scene):
         sequential = scan(model, scene, n_workers=1)
@@ -137,6 +157,59 @@ class TestPoolReuse:
             assert pool.stats["workers_revived"] == 1
             assert victim not in pool.worker_pids()
         assert list(result) == list(sequential)
+
+
+class TestAutotuneSync:
+    """ensure_model ships the parent's conv-variant choices: a worker
+    that measured a near-tie the other way would bind a kernel with
+    different float rounding, breaking scan byte-identity."""
+
+    @pytest.fixture()
+    def seeded_key(self):
+        from repro.engine import autotune
+        from repro.engine.autotune import ConvKey
+
+        # implausible geometry: never collides with a real tuned entry
+        k = ConvKey(batch=1, height=7777, width=7777, in_channels=4,
+                    out_channels=8, kernel=3, stride=1, padding=0,
+                    pool=True, dtype="float32", mode="float32")
+        autotune.seed({k: "im2col_tiled"})
+        yield k
+        with autotune._lock:
+            autotune._cache.pop(k, None)
+
+    def test_choices_ship_once_and_reship_to_replacements(self, model,
+                                                          seeded_key):
+        with WorkerPool(2) as pool:
+            pool.ensure_model(model)
+            assert all(seeded_key in w.tuned for w in pool._workers)
+            shipped = [set(w.tuned) for w in pool._workers]
+            pool.ensure_model(model)  # delta empty: nothing re-sent
+            assert [set(w.tuned) for w in pool._workers] == shipped
+            # a replacement worker starts untuned and gets the full
+            # snapshot on the next ensure_model (the supervisor's
+            # revive path calls exactly this)
+            fresh = pool.replace_worker(pool._workers[0])
+            assert fresh.tuned == set()
+            pool.ensure_model(model)
+            assert seeded_key in fresh.tuned
+
+    def test_engine_scan_tunes_parent_before_shipping(self, model, scene):
+        # the parallel engine scan must autotune the scan's conv
+        # geometry in the PARENT and ship those choices before any
+        # worker compiles — otherwise each worker measures the
+        # near-tie itself and may bind a different kernel
+        from repro.engine import autotune
+
+        sequential = scan(model, scene, n_workers=1, backend="engine")
+        with WorkerPool(2) as pool:
+            pooled = scan(model, scene, n_workers=2, pool=pool,
+                          backend="engine")
+            scan_keys = {k for k in autotune.snapshot()
+                         if k.height == WINDOW and k.width == WINDOW}
+            assert scan_keys, "parent never tuned the scan geometry"
+            assert all(scan_keys <= w.tuned for w in pool._workers)
+        assert list(pooled) == list(sequential)
 
 
 class TestAdaptivePolicy:
@@ -225,3 +298,52 @@ class TestFailurePaths:
         pool.close()
         with pytest.raises(RuntimeError, match="closed"):
             pool.ensure_model(model)
+
+
+class TestDispatchDeadline:
+    """Satellite fix: ``run`` must never block forever on a wedged worker."""
+
+    def test_dispatch_timeout_validation(self):
+        with pytest.raises(ValueError, match="dispatch_timeout_s"):
+            WorkerPool(1, dispatch_timeout_s=0.0)
+
+    def test_hung_workers_are_killed_and_revived(self, model, scene):
+        with WorkerPool(2) as pool, SharedArray(scene.image) as shared:
+            hang_hash = pool.ensure_model(HangingModel())
+            tasks = make_tasks(scene, shared, hang_hash, backend="eager")
+            t0 = time.monotonic()
+            with pytest.raises(WorkerError,
+                               match=r"missed the 1\.0s dispatch deadline"):
+                pool.run(tasks, timeout_s=1.0)
+            assert time.monotonic() - t0 < 30.0
+            assert pool.stats["workers_killed"] == 2
+            # the pool came back with fresh workers and stays usable
+            model_hash = pool.ensure_model(model)
+            payloads = pool.run(make_tasks(scene, shared, model_hash,
+                                           backend="eager"))
+            assert len(payloads) == len(tasks)
+
+    def test_sigkill_mid_shard_raises_and_pool_recovers(self, model, scene):
+        # satellite 3: worker death mid-shard (not merely hung) must
+        # surface as WorkerError, revive on the next run, and re-warm
+        # the replacement's model cache
+        sequential = scan(model, scene, n_workers=1)
+        with WorkerPool(2) as pool:
+            with pytest.raises(WorkerError, match="died"):
+                scan(SelfKillingModel(), scene, n_workers=2, pool=pool)
+            sends_before = pool.stats["model_sends"]
+            result = scan(model, scene, n_workers=2, pool=pool)
+            assert pool.stats["workers_revived"] >= 1
+            # revived workers hold no cached model: bytes were re-sent
+            assert pool.stats["model_sends"] > sends_before
+        assert list(result) == list(sequential)
+
+    def test_sigkill_mid_shard_leaks_no_shm_slabs(self, scene):
+        if not os.path.isdir("/dev/shm"):
+            pytest.skip("no /dev/shm to observe")
+        before = set(os.listdir("/dev/shm"))
+        with pytest.raises(WorkerError, match="died"):
+            scan(SelfKillingModel(), scene, n_workers=2, reuse_pool=False)
+        after = set(os.listdir("/dev/shm"))
+        leaked = {name for name in after - before if name.startswith("psm_")}
+        assert leaked == set()

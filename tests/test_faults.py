@@ -187,3 +187,150 @@ class TestCorruptScene:
         assert out.shape == image.shape
         assert applied == {0: "TruncateTile"}
         assert (out == NODATA).any()
+
+
+class TestWorkerFaultPlan:
+    def test_unknown_kind_rejected(self, tmp_path):
+        from repro.faults import WorkerFaultPlan
+
+        with pytest.raises(ValueError, match="unknown fault kinds"):
+            WorkerFaultPlan(faults={0: "explode"},
+                            fuse_dir=str(tmp_path / "fuses"))
+
+    def test_counts_and_fired(self, tmp_path):
+        from repro.faults import WorkerFaultPlan
+
+        plan = WorkerFaultPlan(faults={0: "hang", 3: "kill", 5: "hang"},
+                               fuse_dir=str(tmp_path / "fuses"))
+        assert plan.counts() == {"error": 0, "hang": 2, "kill": 1, "slow": 0}
+        assert plan.fired() == 0
+        (tmp_path / "fuses" / "call-000003").write_text("123")
+        (tmp_path / "fuses" / "call-000004").write_text("123")  # not a fault
+        assert plan.fired() == 1
+
+
+class FaultTargetModel:
+    """Minimal picklable model for FaultyDetector delegation tests."""
+
+    hidden = "spp"
+
+    def __init__(self):
+        self.mode = None
+
+    def eval(self):
+        self.mode = "eval"
+        return self
+
+    def train(self):
+        self.mode = "train"
+        return self
+
+    def __call__(self, batch):
+        return batch * 2
+
+
+class TestFaultyDetector:
+    def plan(self, tmp_path, faults, **kwargs):
+        from repro.faults import WorkerFaultPlan
+
+        return WorkerFaultPlan(faults=faults,
+                               fuse_dir=str(tmp_path / "fuses"), **kwargs)
+
+    def test_parent_process_never_faults(self, tmp_path):
+        from repro.faults import FaultyDetector
+
+        plan = self.plan(tmp_path, {n: "error" for n in range(5)})
+        detector = FaultyDetector(FaultTargetModel(), plan)
+        for _ in range(5):
+            assert detector(3) == 6        # delegates verbatim, no fuse
+        assert plan.fired() == 0
+
+    def test_error_fault_fires_exactly_once(self, tmp_path):
+        from repro.faults import FaultyDetector
+
+        plan = self.plan(tmp_path, {0: "error"})
+        # parent_pid=0 simulates running inside a worker process
+        detector = FaultyDetector(FaultTargetModel(), plan, parent_pid=0)
+        with pytest.raises(InjectedFault, match="ordinal 0"):
+            detector(3)
+        assert detector(3) == 6            # ordinal 1 is clean
+        assert plan.fired() == 1
+
+    def test_ordinals_are_claimed_once_across_instances(self, tmp_path):
+        from repro.faults import FaultyDetector
+
+        plan = self.plan(tmp_path, {0: "error"})
+        first = FaultyDetector(FaultTargetModel(), plan, parent_pid=0)
+        second = FaultyDetector(FaultTargetModel(), plan, parent_pid=0)
+        with pytest.raises(InjectedFault):
+            first(3)
+        # a "redispatched" second instance sees the fuse already burned
+        assert second(3) == 6
+
+    def test_slow_fault_delays_then_answers(self, tmp_path):
+        import time as _time
+
+        from repro.faults import FaultyDetector
+
+        plan = self.plan(tmp_path, {0: "slow"}, slow_s=0.05)
+        detector = FaultyDetector(FaultTargetModel(), plan, parent_pid=0)
+        t0 = _time.monotonic()
+        assert detector(3) == 6
+        assert _time.monotonic() - t0 >= 0.05
+
+    def test_pickle_roundtrip_preserves_plan(self, tmp_path):
+        import pickle
+
+        from repro.faults import FaultyDetector
+
+        plan = self.plan(tmp_path, {2: "kill"})
+        detector = FaultyDetector(FaultTargetModel(), plan)
+        clone = pickle.loads(pickle.dumps(detector))
+        assert clone.plan.faults == {2: "kill"}
+        assert clone.parent_pid == detector.parent_pid
+        assert clone(4) == 8
+
+    def test_delegation_and_eval_train(self, tmp_path):
+        from repro.faults import FaultyDetector
+
+        detector = FaultyDetector(FaultTargetModel(),
+                                  self.plan(tmp_path, {}))
+        assert detector.hidden == "spp"    # attribute falls through
+        assert detector.eval() is detector
+        assert detector.model.mode == "eval"
+        assert detector.train() is detector
+        assert detector.model.mode == "train"
+        with pytest.raises(AttributeError):
+            detector.does_not_exist
+
+
+class TestTearTrailingLine:
+    def test_tears_mid_final_line(self, tmp_path):
+        import json
+
+        from repro.faults import tear_trailing_line
+        from repro.robust.journal import load_jsonl_repaired
+
+        path = tmp_path / "log.jsonl"
+        records = [{"tile": n, "conf": 0.5} for n in range(4)]
+        path.write_text("".join(json.dumps(r) + "\n" for r in records))
+        removed = tear_trailing_line(path)
+        assert removed > 0
+        assert not path.read_bytes().endswith(b"\n")
+        # the repair path drops exactly the torn record
+        assert load_jsonl_repaired(path) == records[:3]
+
+    def test_keep_fraction_validation(self, tmp_path):
+        from repro.faults import tear_trailing_line
+
+        path = tmp_path / "log.jsonl"
+        path.write_text("{}\n")
+        with pytest.raises(ValueError, match="keep_fraction"):
+            tear_trailing_line(path, keep_fraction=1.0)
+
+    def test_empty_file_is_a_noop(self, tmp_path):
+        from repro.faults import tear_trailing_line
+
+        path = tmp_path / "log.jsonl"
+        path.write_text("")
+        assert tear_trailing_line(path) == 0
