@@ -20,8 +20,16 @@ geometry and memoizes the winner.  Reduced-precision execution
 (float16 weight rounding, int8 per-channel GEMM) lives in
 :mod:`.quant` and is selected under the paper's accuracy constraint by
 :func:`quantize_with_accuracy_gate`.
+
+Programs additionally pass through the IOS inter-operator scheduler
+(:mod:`.sched`): per-step kernel costs are measured on the bound
+program, the :mod:`repro.ios` DP partitions the step DAG into stages of
+concurrent groups, and profitable schedules execute on a shared thread
+pool with a stage-barrier arena plan.  ``REPRO_IOS_SCHEDULE=off``
+restores flat sequential execution.
 """
 
+from . import sched
 from .autotune import (
     CONV_VARIANTS,
     ConvKey,
@@ -40,6 +48,7 @@ from .quant import (
 from .trace import Traced, TraceError, register_tracer, trace
 
 __all__ = [
+    "sched",
     "CompiledModel",
     "compile",
     "compiled_for",

@@ -14,9 +14,22 @@ cost once for its window shape and once for the final ragged batch.
 Weights are packed once at compile time and shared by every program
 (trace node names are structural, hence stable across input sizes).
 
+When IOS scheduling is on (the default; see :mod:`repro.engine.sched`),
+program construction additionally measures each step's kernel on the
+freshly-bound sequential program, solves the IOS stage/group DP against
+those measured costs, and — only if the solver found profitable
+inter-operator parallelism — rebinds the program with a stage-barrier
+arena plan and a staged executor that runs concurrent groups on a
+shared thread pool.  Solved schedules are sticky per (program, batch,
+shape, quant, workers) exactly like autotune decisions, so the
+measure+solve cost is paid once per process (or never, when seeded from
+a scan-pool parent).
+
 Execution is serialized with an internal lock: programs own mutable
 arena state, so one ``CompiledModel`` must not run concurrently with
 itself.  Multi-worker serving should compile one model per worker.
+(The staged executor's intra-program group threads are internal and do
+not relax this rule.)
 """
 
 from __future__ import annotations
@@ -28,6 +41,7 @@ from dataclasses import replace
 
 import numpy as np
 
+from . import sched as _sched
 from .autotune import ConvKey, choose_variant
 from .fusion import Step, fuse_graph
 from .kernels import (
@@ -152,13 +166,54 @@ def _select_conv_variant(step: Step, shapes: dict, batch: int,
     return variant, scratch_elems
 
 
+def _run_group(group: list) -> None:
+    """Execute one schedule group's closures in order (worker thread body)."""
+    for _, _, fn in group:
+        fn()
+
+
+def _timed_step(triple: tuple, acc: dict[str, float]) -> None:
+    """Run one (category, name, closure) step, attributing wall time."""
+    category, _, fn = triple
+    phases: dict[str, float] = {}
+    t0 = time.perf_counter()
+    fn(phases)
+    t1 = time.perf_counter()
+    if phases:
+        # fused kernels self-attribute their phases (gather ->
+        # memops, fused pool -> pooling, ...); any untimed
+        # remainder lands in the step's own category
+        timed = 0.0
+        for phase_cat, dt in phases.items():
+            acc[phase_cat] = acc.get(phase_cat, 0.0) + dt
+            timed += dt
+        acc[category] = (acc.get(category, 0.0)
+                         + max(0.0, (t1 - t0) - timed))
+    else:
+        acc[category] = acc.get(category, 0.0) + (t1 - t0)
+
+
+def _run_group_timed(group: list, acc: dict[str, float]) -> None:
+    for triple in group:
+        _timed_step(triple, acc)
+
+
 class _Program:
-    """One bound executable: arena slots, views, kernel closures."""
+    """One bound executable: arena slots, views, kernel closures.
+
+    With ``schedule`` (an IOS :class:`~repro.ios.schedule.Schedule` whose
+    ``max_parallelism`` exceeds 1), the arena is planned with
+    stage-barrier interference so concurrent groups never share slots,
+    and ``run``/``run_timed`` execute the stage/group structure on the
+    shared group thread pool instead of the flat step list.
+    """
 
     def __init__(self, steps: list[Step], outputs: tuple[str, ...],
                  batch: int, dtype: np.dtype, packed: dict,
-                 quant: QuantPolicy, act_scales: dict) -> None:
+                 quant: QuantPolicy, act_scales: dict,
+                 schedule=None) -> None:
         self.quant = quant
+        self.schedule = schedule
         self._act_scales = act_scales
         shapes = {s.name: s.out_shape for s in steps}
 
@@ -182,8 +237,9 @@ class _Program:
             resolved.append(step)
         steps = resolved
 
+        stages = schedule.stage_groups() if schedule is not None else None
         self.plan: MemoryPlan = plan_memory(
-            steps, outputs, batch, itemsize=dtype.itemsize
+            steps, outputs, batch, itemsize=dtype.itemsize, stages=stages
         )
         self.batch = batch
         elems = [size // dtype.itemsize for size in self.plan.slot_sizes]
@@ -197,19 +253,37 @@ class _Program:
             views[step.name] = self._slots[life.slot][:count].reshape(shape)
 
         self._input_fn = None
-        self._fns: list[tuple[str, object]] = []  # (category, closure)
-        # (step name, input view) for quantized steps — calibration taps
-        self._taps: list[tuple[str, np.ndarray] | None] = []
+        self._fns: list[tuple[str, str, object]] = []  # (category, name, fn)
+        # quantized step name -> input view (int8 calibration taps)
+        self._taps: dict[str, np.ndarray] = {}
         for step in steps:
             fn = self._bind(step, views, shapes, batch, dtype, packed)
             if step.kind == "input":
                 self._input_fn = fn
             else:
-                self._fns.append((_CATEGORY[step.kind], fn))
-                quantized = (quant.mode == "int8" and
-                             step.kind in ("conv", "conv_pool", "linear"))
-                self._taps.append(
-                    (step.name, views[step.inputs[0]]) if quantized else None)
+                self._fns.append((_CATEGORY[step.kind], step.name, fn))
+                if (quant.mode == "int8" and
+                        step.kind in ("conv", "conv_pool", "linear")):
+                    self._taps[step.name] = views[step.inputs[0]]
+
+        # Staged execution structure: stage -> group -> (category, name,
+        # fn) triples in schedule order.  ``_linear`` is the sequential
+        # linearization actually used by calibration and step timing —
+        # for scheduled programs that is the *schedule* order (the
+        # stage-barrier arena plan assumes it), for plain programs the
+        # original step order.
+        if schedule is not None:
+            by_name = {name: triple for triple in self._fns
+                       for name in (triple[1],)}
+            self._exec_stages: list[list[list[tuple]]] | None = [
+                [[by_name[name] for name in group] for group in stage]
+                for stage in stages
+            ]
+            self._linear = [triple for stage in self._exec_stages
+                            for group in stage for triple in group]
+        else:
+            self._exec_stages = None
+            self._linear = self._fns
 
         out_views = [views[name] for name in outputs]
         out_spatial = [len(shapes[name]) == 3 for name in outputs]
@@ -373,44 +447,99 @@ class _Program:
     # -- execution -------------------------------------------------------
     def run(self, x: np.ndarray) -> list[np.ndarray]:
         self._input_fn(x)
-        for _, fn in self._fns:
-            fn()
+        if self._exec_stages is None:
+            for _, _, fn in self._fns:
+                fn()
+        else:
+            self._run_staged()
         return self._extract()
 
+    def _run_staged(self) -> None:
+        # Single-group stages run inline (no dispatch, no barrier — the
+        # exact overheads the cost model charges).  Parallel stages hand
+        # groups[1:] to the shared pool while the calling thread runs
+        # groups[0], then join at the barrier.
+        for stage in self._exec_stages:
+            if len(stage) == 1:
+                for _, _, fn in stage[0]:
+                    fn()
+                continue
+            executor = _sched.group_executor()
+            futures = [executor.submit(_run_group, group)
+                       for group in stage[1:]]
+            _run_group(stage[0])
+            for future in futures:
+                future.result()
+
     def run_timed(self, x: np.ndarray, acc: dict[str, float]) -> list[np.ndarray]:
+        """Run once, accumulating per-category wall time into ``acc``.
+
+        On scheduled programs each concurrent group times its steps into
+        a group-local accumulator, merged at the stage barrier — so
+        category sums are *thread* time and may exceed the stage's wall
+        clock when groups genuinely overlap.
+        """
         t0 = time.perf_counter()
         self._input_fn(x)
         t1 = time.perf_counter()
         acc["memops"] = acc.get("memops", 0.0) + (t1 - t0)
-        for category, fn in self._fns:
-            phases: dict[str, float] = {}
-            t0 = time.perf_counter()
-            fn(phases)
-            t1 = time.perf_counter()
-            if phases:
-                # fused kernels self-attribute their phases (gather ->
-                # memops, fused pool -> pooling, ...); any untimed
-                # remainder lands in the step's own category
-                timed = 0.0
-                for phase_cat, dt in phases.items():
-                    acc[phase_cat] = acc.get(phase_cat, 0.0) + dt
-                    timed += dt
-                acc[category] = (acc.get(category, 0.0)
-                                 + max(0.0, (t1 - t0) - timed))
-            else:
-                acc[category] = acc.get(category, 0.0) + (t1 - t0)
+        if self._exec_stages is None:
+            for triple in self._fns:
+                _timed_step(triple, acc)
+            return self._extract()
+        for stage in self._exec_stages:
+            if len(stage) == 1:
+                for triple in stage[0]:
+                    _timed_step(triple, acc)
+                continue
+            executor = _sched.group_executor()
+            partials = [dict() for _ in stage[1:]]
+            futures = [executor.submit(_run_group_timed, group, part)
+                       for group, part in zip(stage[1:], partials)]
+            _run_group_timed(stage[0], acc)
+            for future in futures:
+                future.result()
+            for part in partials:
+                for category, dt in part.items():
+                    acc[category] = acc.get(category, 0.0) + dt
         return self._extract()
 
     def run_calibrate(self, x: np.ndarray, stats: dict[str, float],
                       percentile: float) -> None:
-        """One forward pass recording per-quantized-step input scales."""
+        """One forward pass recording per-quantized-step input scales.
+
+        Always sequential (over the plan's own linearization) so the
+        recorded percentile per tap is deterministic.
+        """
         self._input_fn(x)
-        for (_, fn), tap in zip(self._fns, self._taps):
-            if tap is not None:
-                name, view = tap
+        for _, name, fn in self._linear:
+            view = self._taps.get(name)
+            if view is not None:
                 stats[name] = max(stats.get(name, 0.0),
                                   activation_scale(view, percentile))
             fn()
+
+    def step_costs(self, x: np.ndarray,
+                   repeats: int = 3) -> dict[str, float]:
+        """Best-of wall-clock seconds per step on the real bound kernels.
+
+        This is the cost input to the IOS DP (``repro.engine.sched``):
+        run_timed-style per-step attribution, but keyed by step name and
+        taken as a min over ``repeats`` full passes so scheduler input is
+        noise-robust.  The pass re-feeds the input each repeat, so every
+        pass executes in a valid sequential order over live buffers.
+        """
+        costs: dict[str, float] = {}
+        for _ in range(max(1, int(repeats))):
+            self._input_fn(x)
+            for _, name, fn in self._linear:
+                t0 = time.perf_counter()
+                fn()
+                dt = time.perf_counter() - t0
+                prev = costs.get(name)
+                if prev is None or dt < prev:
+                    costs[name] = dt
+        return costs
 
     def _extract(self) -> list[np.ndarray]:
         return [
@@ -430,10 +559,14 @@ class CompiledModel:
     """
 
     def __init__(self, module, input_shape: tuple[int, ...],
-                 dtype=np.float32, quant="float32") -> None:
+                 dtype=np.float32, quant="float32",
+                 schedule: bool = True) -> None:
         self.module = module
         self.dtype = np.dtype(dtype)
         self.quant = QuantPolicy.coerce(quant)
+        #: per-model IOS-scheduling opt-out; the process-wide escape
+        #: hatch is ``REPRO_IOS_SCHEDULE=off`` (see repro.engine.sched)
+        self.schedule_enabled = bool(schedule)
         self.input_shape = tuple(int(d) for d in input_shape)
         traced = trace(module, self.input_shape)
         self.graph = traced.graph
@@ -523,8 +656,45 @@ class CompiledModel:
             steps = self._steps_for(sample_shape)
             prog = _Program(steps, self.outputs, batch, self.dtype,
                             self._packed, self.quant, self._act_scales)
+            if self.schedule_enabled and _sched.scheduling_enabled():
+                plan = self._resolve_schedule(steps, batch, sample_shape,
+                                              prog)
+                if plan is not None and plan.max_parallelism > 1:
+                    # Rebind with the stage-barrier arena plan and the
+                    # staged executor.  Conv variants are sticky in the
+                    # autotune cache, so the rebind reuses the first
+                    # build's decisions (and its kernels) verbatim.
+                    prog = _Program(steps, self.outputs, batch, self.dtype,
+                                    self._packed, self.quant,
+                                    self._act_scales, schedule=plan)
             self._programs[key] = prog
         return prog
+
+    def _resolve_schedule(self, steps: list[Step], batch: int,
+                          sample_shape: tuple[int, ...], prog: _Program):
+        """Cached-or-solved IOS schedule for one (batch, shape) program.
+
+        On a cache miss the freshly-bound sequential program measures
+        its own per-step kernel costs (synthetic input — cost magnitude
+        is what matters, not values) and the DP solves against them.
+        Any failure falls back to no schedule: the sequential program
+        is always a correct executable.
+        """
+        try:
+            key = _sched.schedule_key(steps, batch, sample_shape,
+                                      self.dtype, self.quant.mode)
+            plan = _sched.cached_schedule(key)
+            if plan is None:
+                rng = np.random.default_rng(0)
+                x = rng.standard_normal(
+                    (batch,) + tuple(sample_shape)).astype(
+                        self.dtype, copy=False)
+                costs = prog.step_costs(x)
+                plan = _sched.solve_schedule(key, steps, costs,
+                                             graph_name=self.graph.name)
+            return plan
+        except Exception:
+            return None
 
     # -- execution -------------------------------------------------------
     def __call__(self, x):
@@ -564,9 +734,10 @@ class CompiledModel:
         """Pre-build the per-(batch, shape) programs for ``batch_sizes``.
 
         Binding a program — memory planning, arena allocation, view and
-        closure construction — is the one non-amortized cost of the
-        compiled path; without warmup the first request of each batch
-        shape pays it inline.  Calling this at startup (the serving
+        closure construction, plus (first time per shape) the IOS
+        step-cost measurement and DP solve — is the one non-amortized
+        cost of the compiled path; without warmup the first request of
+        each batch shape pays it inline.  Calling this at startup (the serving
         layer does, and every parallel scan worker warms its shard's
         batch shapes) moves that latency out of the request path.
 
@@ -632,6 +803,28 @@ class CompiledModel:
                 batch, tuple(sample_shape or self.input_shape))
         return dict(prog.kernel_choices)
 
+    def schedule_for(self, batch: int = 1,
+                     sample_shape: tuple[int, ...] | None = None):
+        """The IOS schedule the executed (batch, shape) program follows.
+
+        Returns the attached :class:`~repro.ios.schedule.Schedule` when
+        the program runs staged, the solved-but-sequential schedule when
+        the DP judged parallelism unprofitable (its ``max_parallelism``
+        is 1), and ``None`` when scheduling is disabled for this model
+        or process.
+        """
+        shape = tuple(sample_shape or self.input_shape)
+        with self._lock:
+            prog = self._program_for(batch, shape)
+            if prog.schedule is not None:
+                return prog.schedule
+            if not (self.schedule_enabled and _sched.scheduling_enabled()):
+                return None
+            steps = self._steps_for(shape)
+        key = _sched.schedule_key(steps, batch, shape, self.dtype,
+                                  self.quant.mode)
+        return _sched.cached_schedule(key)
+
     def planned_peak_bytes(self, batch: int = 1) -> int:
         """Arena bytes the compiled program holds at ``batch`` — the
         reuse-aware counterpart of ``graph.analysis.activation_bytes``."""
@@ -671,7 +864,8 @@ class CompiledModel:
 
 
 def compile(model, input_shape: tuple[int, ...] | None = None,
-            dtype=np.float32, quant="float32") -> CompiledModel:
+            dtype=np.float32, quant="float32",
+            schedule: bool = True) -> CompiledModel:
     """Compile ``model`` for fast inference.
 
     ``input_shape`` is the nominal per-sample shape ``(C, H, W)``; for an
@@ -689,6 +883,10 @@ def compile(model, input_shape: tuple[int, ...] | None = None,
     :mod:`repro.engine.quant` — in particular
     :func:`~.quant.quantize_with_accuracy_gate`, which subordinates the
     mode choice to the paper's accuracy constraint.
+
+    ``schedule=False`` opts this model out of IOS inter-operator
+    scheduling (:mod:`repro.engine.sched`), pinning every program to
+    flat sequential execution.
     """
     if input_shape is None:
         config = getattr(model, "config", None)
@@ -699,13 +897,15 @@ def compile(model, input_shape: tuple[int, ...] | None = None,
             )
         side = max(100, config.min_input_size())
         input_shape = (config.in_channels, side, side)
-    return CompiledModel(model, input_shape, dtype=dtype, quant=quant)
+    return CompiledModel(model, input_shape, dtype=dtype, quant=quant,
+                         schedule=schedule)
 
 
 _COMPILED_CACHE: weakref.WeakKeyDictionary = weakref.WeakKeyDictionary()
 
 
-def compiled_for(model, dtype=np.float32, quant="float32") -> CompiledModel:
+def compiled_for(model, dtype=np.float32, quant="float32",
+                 schedule: bool = True) -> CompiledModel:
     """Per-model-instance compile cache used by ``backend="engine"``
     call sites (``predict``, ``scan_scene``, the NAS latency evaluator).
 
@@ -716,7 +916,9 @@ def compiled_for(model, dtype=np.float32, quant="float32") -> CompiledModel:
     policy = QuantPolicy.coerce(quant)
     compiled = _COMPILED_CACHE.get(model)
     if (compiled is None or compiled.dtype != np.dtype(dtype)
-            or compiled.quant.mode != policy.mode):
-        compiled = compile(model, dtype=dtype, quant=policy)
+            or compiled.quant.mode != policy.mode
+            or compiled.schedule_enabled != bool(schedule)):
+        compiled = compile(model, dtype=dtype, quant=policy,
+                           schedule=schedule)
         _COMPILED_CACHE[model] = compiled
     return compiled

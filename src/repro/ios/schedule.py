@@ -8,6 +8,7 @@ by synchronization barriers.
 
 from __future__ import annotations
 
+import hashlib
 import json
 from dataclasses import dataclass
 from pathlib import Path
@@ -79,6 +80,23 @@ class Schedule:
     def with_latency(self, latency_us: float) -> "Schedule":
         return Schedule(self.graph_name, self.batch, self.stages, latency_us, self.strategy)
 
+    @property
+    def schedule_hash(self) -> str:
+        """Content hash of the *plan* (graph, batch, stage structure).
+
+        Annotations — measured latency, strategy label — are excluded,
+        so a schedule keeps its hash when re-annotated.  Pool workers
+        compare this against the parent's hash to verify they adopted
+        the exact schedule that was shipped (``from_json`` checks it
+        automatically when the serialized form carries one).
+        """
+        canon = json.dumps(
+            {"graph": self.graph_name, "batch": self.batch,
+             "stages": self.stage_groups()},
+            separators=(",", ":"),
+        )
+        return hashlib.sha1(canon.encode()).hexdigest()
+
     # -- serialization (deploy a found schedule without re-searching) ----
     def to_json(self) -> str:
         return json.dumps({
@@ -86,6 +104,7 @@ class Schedule:
             "batch": self.batch,
             "strategy": self.strategy,
             "latency_us": self.latency_us,
+            "schedule_hash": self.schedule_hash,
             "stages": self.stage_groups(),
         }, indent=2)
 
@@ -96,13 +115,21 @@ class Schedule:
             Stage(tuple(Group(tuple(group)) for group in stage))
             for stage in data["stages"]
         )
-        return cls(
+        schedule = cls(
             graph_name=data["graph_name"],
             batch=int(data["batch"]),
             stages=stages,
             latency_us=data.get("latency_us"),
             strategy=data.get("strategy", ""),
         )
+        expected = data.get("schedule_hash")
+        if expected is not None and expected != schedule.schedule_hash:
+            raise ValueError(
+                f"schedule hash mismatch: payload says {expected}, "
+                f"reconstructed plan hashes to {schedule.schedule_hash} "
+                "(corrupted or hand-edited schedule)"
+            )
+        return schedule
 
     def save(self, path: str | Path) -> Path:
         path = Path(path)

@@ -74,8 +74,11 @@ def measure_latency_ms(
     ``backend="engine"`` times the compiled inference engine
     (:mod:`repro.engine`) instead of the eager autograd path, so a
     latency-constrained search can rank candidates by their deployed
-    cost.  Compilation happens before the warmup passes and is not
-    counted.  ``quant`` (engine backend only) measures the program under
+    cost — including whatever inter-operator schedule the engine's IOS
+    pass (:mod:`repro.engine.sched`) chose for the architecture, since
+    candidates with wide SPP branches deploy scheduled.  Compilation,
+    step-cost measurement, and the schedule solve all happen in an
+    explicit warmup before any timed pass and are not counted.  ``quant`` (engine backend only) measures the program under
     a reduced-precision mode (``"float16"``/``"int8"``) so a search can
     rank candidates by their quantized deployment latency; latency is
     accuracy-agnostic, so the accuracy gate for the mode is applied
@@ -103,6 +106,12 @@ def measure_latency_ms(
         from ..engine import compiled_for
 
         compiled = compiled_for(model, quant=quant)
+        # Bind the (batch, shape) program — including the IOS step-cost
+        # measurement and DP solve on first use — before any timed (or
+        # even warmup=0) pass, so the reported latency is steady-state
+        # execution of the scheduled program, never compilation.
+        compiled.warmup([batch],
+                        (config.in_channels, input_size, input_size))
         run = lambda: compiled.predict(images, batch_size=batch)  # noqa: E731
     else:
         run = lambda: predict(model, images, batch_size=batch)  # noqa: E731

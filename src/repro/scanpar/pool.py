@@ -135,6 +135,14 @@ def _pool_worker_main(conn) -> None:
             from ..engine import autotune
 
             autotune.seed(message[1])
+        elif kind == "sched":
+            # adopt the parent's solved IOS schedules: a worker that
+            # adopts never re-measures step costs or re-runs the DP
+            # during warmup, and the whole pool provably executes the
+            # parent's stage/group plan (payloads are hash-verified)
+            from ..engine import sched
+
+            sched.seed(message[1])
         elif kind == "shard":
             task = message[1]
             try:
@@ -151,13 +159,14 @@ def _pool_worker_main(conn) -> None:
 class _Worker:
     """One pool slot: process, duplex pipe, and the model hashes sent."""
 
-    __slots__ = ("proc", "conn", "sent", "tuned")
+    __slots__ = ("proc", "conn", "sent", "tuned", "scheds")
 
     def __init__(self, proc, conn) -> None:
         self.proc = proc
         self.conn = conn
         self.sent: set[str] = set()
         self.tuned: set = set()       # autotune ConvKeys already shipped
+        self.scheds: set = set()      # IOS ScheduleKeys already shipped
 
     @property
     def pid(self) -> int:
@@ -364,13 +373,19 @@ class WorkerPool:
         per worker, tiny): a worker that measured the near-tie the
         other way would bind a kernel with different float rounding
         than the parent's sequential scan, so the parent's sticky
-        choices are authoritative pool-wide.  Replacement workers get
-        the full snapshot on their first ensure_model.
+        choices are authoritative pool-wide.  The parent's solved IOS
+        schedules ship the same way (``Schedule.to_json`` payloads per
+        ``ScheduleKey``), so workers adopt the parent's stage/group
+        plans instead of re-measuring and re-solving during warmup.
+        Replacement workers get the full snapshots on their first
+        ensure_model.
         """
+        from ..engine import sched
         from ..engine.autotune import snapshot
 
         data, model_hash = serialized_model(model)
         decided = snapshot()
+        solved = sched.snapshot()
         with self._lock:
             if self._closed:
                 raise RuntimeError("pool is closed")
@@ -385,6 +400,11 @@ class WorkerPool:
                 if delta:
                     worker.conn.send(("tune", delta))
                     worker.tuned.update(delta)
+                sched_delta = {key: text for key, text in solved.items()
+                               if key not in worker.scheds}
+                if sched_delta:
+                    worker.conn.send(("sched", sched_delta))
+                    worker.scheds.update(sched_delta)
         return model_hash
 
     @contextmanager

@@ -80,16 +80,21 @@ def _resolve_model(task: ShardTask, cache: dict | None) -> tuple[object, bool]:
 
 
 def _warm_engine(model, channels: int, window: int,
-                 batch_sizes: list[int]) -> float:
+                 batch_sizes: list[int]) -> tuple[float, int]:
     """Pre-build the engine programs this shard will execute; returns
-    the warmup milliseconds (compile paid once per worker process — and,
-    with a persistent pool, once per model *lifetime*, because warmup of
-    an already-cached program costs nothing)."""
-    from ..engine import compiled_for
+    ``(warmup milliseconds, IOS DP solves paid)`` (compile paid once per
+    worker process — and, with a persistent pool, once per model
+    *lifetime*, because warmup of an already-cached program costs
+    nothing).  The solve count is the pool's schedule-shipping health
+    signal: a worker seeded with the parent's schedules warms with zero
+    solves."""
+    from ..engine import compiled_for, sched
 
     model.eval()
     compiled = compiled_for(model)
-    return compiled.warmup(batch_sizes, (channels, window, window))
+    solves_before = sched.stats()["solves"]
+    warmup_ms = compiled.warmup(batch_sizes, (channels, window, window))
+    return warmup_ms, sched.stats()["solves"] - solves_before
 
 
 def run_shard(task: ShardTask, model_cache: dict | None = None) -> dict:
@@ -114,9 +119,10 @@ def run_shard(task: ShardTask, model_cache: dict | None = None) -> dict:
 
         if task.robust:
             # per-tile isolation: every batch is one tile, warm that shape
-            warmup_ms = 0.0
+            warmup_ms, sched_solves = 0.0, 0
             if task.backend == "engine":
-                warmup_ms = _warm_engine(model, channels, task.window, [1])
+                warmup_ms, sched_solves = _warm_engine(
+                    model, channels, task.window, [1])
             run, guarded = _make_tile_runner(model, task.backend)
             journal = None
             if task.journal_path is not None:
@@ -139,16 +145,17 @@ def run_shard(task: ShardTask, model_cache: dict | None = None) -> dict:
                               if guarded is not None else {}),
                 "warmup_ms": warmup_ms,
                 "model_cached": model_cached,
+                "sched_solves": sched_solves,
             }
 
-        warmup_ms = 0.0
+        warmup_ms, sched_solves = 0.0, 0
         if task.backend == "engine":
             sizes = {min(task.batch_size, len(span))}
             ragged = len(span) % task.batch_size
             if ragged:
                 sizes.add(ragged)
-            warmup_ms = _warm_engine(model, channels, task.window,
-                                     sorted(sizes))
+            warmup_ms, sched_solves = _warm_engine(
+                model, channels, task.window, sorted(sizes))
         from ..detect.predict import predict
 
         source = TileSource(image, task.window, batch_size=task.batch_size)
@@ -156,6 +163,7 @@ def run_shard(task: ShardTask, model_cache: dict | None = None) -> dict:
             "shard": task.shard_index,
             "warmup_ms": warmup_ms,
             "model_cached": model_cached,
+            "sched_solves": sched_solves,
             "via_slab": False,
         }
         slab = attach_array(task.result) if task.result is not None else None

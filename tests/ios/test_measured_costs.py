@@ -1,0 +1,156 @@
+"""Measured-cost scheduling: the MeasuredCosts stage pricer, the DP's
+cost_source seam, and the measured variants of measure_schedule /
+schedule_overheads."""
+
+import pytest
+
+from repro.graph.ir import Graph, Operator, OpType
+from repro.ios import (
+    MeasuredCosts,
+    MeasuredRunResult,
+    dp_schedule,
+    measure_latency,
+    measure_schedule,
+    schedule_overheads,
+    sequential_schedule,
+)
+
+
+def diamond_graph() -> Graph:
+    """input -> a -> (b, c) -> d: two independent mid ops."""
+    g = Graph(name="diamond")
+    g.add(Operator("input", OpType.INPUT, (), (4, 8, 8), {}))
+    g.add(Operator("a", OpType.RELU, ("input",), (4, 8, 8), {}))
+    g.add(Operator("b", OpType.RELU, ("a",), (4, 8, 8), {}))
+    g.add(Operator("c", OpType.RELU, ("a",), (4, 8, 8), {}))
+    g.add(Operator("d", OpType.CONCAT, ("b", "c"), (8, 8, 8), {}))
+    return g
+
+
+COSTS = {"a": 10.0, "b": 100.0, "c": 100.0, "d": 10.0}
+
+
+class TestStagePricing:
+    def test_single_group_costs_exact_sum_no_barrier(self):
+        source = MeasuredCosts(COSTS, workers=4, dispatch_us=50.0,
+                               sync_us=25.0)
+        assert source.stage_cost([["a", "b"]]) == pytest.approx(110.0)
+
+    def test_parallel_stage_is_makespan_plus_overheads(self):
+        source = MeasuredCosts(COSTS, workers=4, dispatch_us=50.0,
+                               sync_us=25.0)
+        # two 100us groups on >=2 lanes: max(100,100) + 1*50 + 25
+        assert source.stage_cost([["b"], ["c"]]) == pytest.approx(175.0)
+
+    def test_worker_bound_packs_lpt(self):
+        source = MeasuredCosts({"x": 30.0, "y": 20.0, "z": 10.0},
+                               workers=2)
+        # LPT on 2 lanes: [30] and [20+10] -> makespan 30
+        assert source.stage_cost([["x"], ["y"], ["z"]]) == pytest.approx(30.0)
+
+    def test_one_worker_serializes_groups(self):
+        source = MeasuredCosts(COSTS, workers=1)
+        assert source.stage_cost([["b"], ["c"]]) == pytest.approx(200.0)
+
+    def test_rejects_bad_workers_and_empty_stage(self):
+        with pytest.raises(ValueError):
+            MeasuredCosts(COSTS, workers=0)
+        with pytest.raises(ValueError):
+            MeasuredCosts(COSTS).stage_cost([])
+
+
+class TestDPWithMeasuredCosts:
+    def test_parallelizes_when_overlap_beats_overheads(self):
+        source = MeasuredCosts(COSTS, workers=2, dispatch_us=5.0,
+                               sync_us=5.0)
+        schedule = dp_schedule(diamond_graph(), 1, cost_source=source)
+        assert schedule.strategy == "ios-dp-measured"
+        assert schedule.max_parallelism == 2
+        # 10 + (100 + 5 + 5) + 10
+        assert schedule.latency_us == pytest.approx(130.0)
+
+    def test_stays_sequential_on_one_worker(self):
+        source = MeasuredCosts(COSTS, workers=1, dispatch_us=0.0,
+                               sync_us=0.0)
+        schedule = dp_schedule(diamond_graph(), 1, cost_source=source)
+        assert schedule.max_parallelism == 1
+        assert schedule.latency_us == pytest.approx(220.0)
+
+    def test_conservative_overheads_suppress_thin_parallelism(self):
+        source = MeasuredCosts(COSTS, workers=2, dispatch_us=150.0,
+                               sync_us=50.0)
+        schedule = dp_schedule(diamond_graph(), 1, cost_source=source)
+        assert schedule.max_parallelism == 1
+
+    def test_optimal_vs_sequential_never_worse(self):
+        source = MeasuredCosts(COSTS, workers=2, dispatch_us=5.0,
+                               sync_us=5.0)
+        graph = diamond_graph()
+        dp = dp_schedule(graph, 1, cost_source=source)
+        seq = sequential_schedule(graph, 1)
+        assert (source.schedule_latency(dp)
+                <= source.schedule_latency(seq))
+
+
+class TestMeasuredRunSeam:
+    def source(self):
+        return MeasuredCosts(COSTS, workers=2, dispatch_us=5.0,
+                             sync_us=5.0)
+
+    def test_measure_schedule_returns_measured_result(self):
+        source = self.source()
+        schedule = dp_schedule(diamond_graph(), 3, cost_source=source)
+        result = measure_schedule(diamond_graph(), schedule, source=source)
+        assert isinstance(result, MeasuredRunResult)
+        assert result.batch == 3
+        assert result.latency_us == pytest.approx(schedule.latency_us)
+        assert result.kernel_us == pytest.approx(sum(COSTS.values()))
+        assert result.num_stages == schedule.num_stages
+        assert len(result.stage_latencies_us) == schedule.num_stages
+
+    def test_measure_latency_kwarg(self):
+        source = self.source()
+        schedule = dp_schedule(diamond_graph(), 1, cost_source=source)
+        assert measure_latency(diamond_graph(), schedule,
+                               source=source) == pytest.approx(130.0)
+
+    def test_schedule_overheads_decomposes_measured_result(self):
+        # Overhead-dominated stage: two 1us ops behind a 50us dispatch
+        # and 5us barrier — everything beyond kernel time reports as sync.
+        from repro.ios import Group, Schedule, Stage
+
+        source = MeasuredCosts({"b": 1.0, "c": 1.0}, workers=2,
+                               dispatch_us=50.0, sync_us=5.0)
+        schedule = Schedule(
+            graph_name="pair", batch=1,
+            stages=(Stage((Group(("b",)), Group(("c",)))),))
+        result = measure_schedule(diamond_graph(), schedule, source=source)
+        decomp = schedule_overheads(result)
+        assert decomp["kernel"] == pytest.approx(2.0)
+        assert decomp["sync"] == pytest.approx(54.0)  # dispatch + join
+        assert decomp["launch"] == decomp["memcpy"] == 0.0
+        assert decomp["total"] == pytest.approx(56.0)
+
+    def test_parallel_win_overlaps_kernel_time(self):
+        """When overlap wins, measured total drops below summed kernel
+        time and the overhead decomposition clamps sync at zero."""
+        source = self.source()
+        schedule = dp_schedule(diamond_graph(), 1, cost_source=source)
+        result = measure_schedule(diamond_graph(), schedule, source=source)
+        assert result.kernel_us > result.latency_us
+        assert schedule_overheads(result)["sync"] == 0.0
+
+    def test_simulated_path_unchanged(self):
+        """The old signature (no source) still runs the gpusim executor
+        and schedule_overheads still reads its API trace."""
+        from repro.arch import TABLE1_MODELS
+        from repro.graph import build_sppnet_graph
+        from repro.ios import dp_schedule as dp
+
+        graph = build_sppnet_graph(TABLE1_MODELS["SPP-Net #2"])
+        schedule = dp(graph, 1)
+        result = measure_schedule(graph, schedule)
+        assert not isinstance(result, MeasuredRunResult)
+        decomp = schedule_overheads(result)
+        assert decomp["kernel"] > 0
+        assert decomp["total"] == pytest.approx(result.latency_us)

@@ -36,6 +36,58 @@ class TestScheduleSerialization:
         loaded = Schedule.load(path)
         assert loaded.stage_groups() == schedule.stage_groups()
 
+    def test_single_op_groups_with_annotations_roundtrip(self):
+        from repro.ios import sequential_schedule
+
+        graph = build_sppnet_graph(TABLE1_MODELS["SPP-Net #1"])
+        original = sequential_schedule(graph, 3)
+        assert all(len(group.ops) == 1 for stage in original.stages
+                   for group in stage.groups)
+        restored = Schedule.from_json(original.to_json())
+        assert restored.stage_groups() == original.stage_groups()
+        assert restored.latency_us == pytest.approx(original.latency_us)
+        assert restored.strategy == original.strategy
+
+
+class TestScheduleHash:
+    def plan(self, batch=2):
+        graph = build_sppnet_graph(TABLE1_MODELS["SPP-Net #2"])
+        return dp_schedule(graph, batch)
+
+    def test_hash_survives_roundtrip(self):
+        original = self.plan()
+        restored = Schedule.from_json(original.to_json())
+        assert restored.schedule_hash == original.schedule_hash
+
+    def test_hash_covers_plan_not_annotations(self):
+        """Two schedules with equal stage structure hash equal even when
+        latency/strategy annotations differ — pool workers verify the
+        *plan*, not the parent's measurement noise."""
+        import dataclasses
+
+        original = self.plan()
+        relabeled = dataclasses.replace(
+            original, latency_us=12345.0, strategy="other")
+        assert relabeled.schedule_hash == original.schedule_hash
+        assert self.plan(batch=7).schedule_hash != original.schedule_hash
+
+    def test_tampered_payload_rejected(self):
+        import json
+
+        payload = json.loads(self.plan().to_json())
+        first_group = payload["stages"][0][0]
+        first_group.append("injected_op")
+        with pytest.raises(ValueError, match="hash mismatch"):
+            Schedule.from_json(json.dumps(payload))
+
+    def test_payload_without_hash_still_loads(self):
+        import json
+
+        payload = json.loads(self.plan().to_json())
+        del payload["schedule_hash"]
+        restored = Schedule.from_json(json.dumps(payload))
+        assert restored.stage_groups() == self.plan().stage_groups()
+
 
 class TestInputSizeSweep:
     @pytest.fixture(scope="class")

@@ -212,6 +212,68 @@ class TestAutotuneSync:
         assert list(pooled) == list(sequential)
 
 
+class TestScheduleSync:
+    """ensure_model ships the parent's solved IOS schedules: a seeded
+    worker warms its shard's engine programs without re-measuring step
+    costs or re-running the DP, and the whole pool executes the
+    parent's stage/group plan."""
+
+    def warm_parent(self, model, scene, tasks):
+        from repro.engine import compiled_for
+
+        sizes = set()
+        for task in tasks:
+            span = task.stop - task.start
+            sizes.add(min(BATCH, span))
+            if span % BATCH:
+                sizes.add(span % BATCH)
+        channels = scene.image.shape[0]
+        compiled_for(model).warmup(sorted(sizes),
+                                   (channels, WINDOW, WINDOW))
+
+    def test_seeded_worker_warms_with_zero_solves(self, model, scene):
+        from repro.engine import sched
+
+        with WorkerPool(2) as pool, SharedArray(scene.image) as shared:
+            model_hash = pool.ensure_model(model)
+            tasks = make_tasks(scene, shared, model_hash)
+            self.warm_parent(model, scene, tasks)
+            assert sched.snapshot(), "parent never solved the scan shapes"
+            pool.ensure_model(model)  # ships the schedule delta
+            assert all(set(sched.snapshot()) <= w.scheds
+                       for w in pool._workers)
+            for payload in pool.run(tasks):
+                assert payload["sched_solves"] == 0
+
+    def test_engine_scan_ships_parent_schedules(self, model, scene):
+        from repro.engine import sched
+
+        sequential = scan(model, scene, n_workers=1, backend="engine")
+        with WorkerPool(2) as pool:
+            pooled = scan(model, scene, n_workers=2, pool=pool,
+                          backend="engine")
+            shipped = {key for key in sched.snapshot()
+                       if key.shape == (scene.image.shape[0],
+                                        WINDOW, WINDOW)}
+            assert shipped, "parent never solved the scan geometry"
+            assert all(shipped <= w.scheds for w in pool._workers)
+        assert list(pooled) == list(sequential)
+
+    def test_replacement_worker_reships_schedules(self, model, scene):
+        from repro.engine import sched
+
+        with WorkerPool(2) as pool, SharedArray(scene.image) as shared:
+            model_hash = pool.ensure_model(model)
+            tasks = make_tasks(scene, shared, model_hash)
+            self.warm_parent(model, scene, tasks)
+            pool.ensure_model(model)
+            solved = set(sched.snapshot())
+            fresh = pool.replace_worker(pool._workers[0])
+            assert fresh.scheds == set()
+            pool.ensure_model(model)
+            assert solved <= fresh.scheds
+
+
 class TestAdaptivePolicy:
     def resolve(self, **kwargs):
         kwargs.setdefault("n_origins", 500)
